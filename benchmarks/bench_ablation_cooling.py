@@ -1,0 +1,45 @@
+"""Ablation A3 — cooling rate alpha (paper uses 0.9).
+
+Faster cooling saves proposals but risks freezing into worse placements;
+slower cooling spends more evaluations. This ablation sweeps alpha at a
+fixed per-round budget.
+"""
+
+import pytest
+
+from repro.experiments.pcr import pcr_case_study
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.util.tables import format_table
+
+_results: dict[float, tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("alpha", [0.7, 0.8, 0.9])
+def test_cooling_rate(benchmark, report, alpha):
+    study = pcr_case_study()
+    params = AnnealingParams(
+        initial_temp=500.0,
+        cooling=alpha,
+        iterations_per_module=40,
+        freeze_rounds=2,
+        window_gamma=0.37,
+    )
+
+    def place():
+        placer = SimulatedAnnealingPlacer(params=params, seed=19)
+        return placer.place(study.schedule, study.binding)
+
+    result = benchmark.pedantic(place, rounds=1, iterations=1)
+    result.placement.validate()
+    _results[alpha] = (result.area_cells, result.stats.evaluations)
+
+    if len(_results) == 3:
+        report(
+            "Ablation A3: cooling rate alpha",
+            format_table(
+                ("alpha", "area (cells)", "evaluations"),
+                [(f"{a:g}", c, e) for a, (c, e) in sorted(_results.items())],
+            )
+            + "\n(paper: alpha = 0.9)",
+        )

@@ -1,0 +1,41 @@
+"""Ablation A1 — the single-move vs pair-interchange mix ``p``.
+
+The paper assigns probability p to single-module displacement and 1-p
+to pair interchange, with the effective ratio "determined
+experimentally" (Section 4(b)). This ablation quantifies that choice:
+pure-swap (p=0), the default 0.8, and pure-displacement (p=1).
+"""
+
+import pytest
+
+from repro.experiments.pcr import pcr_case_study
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.util.tables import format_table
+
+_results: dict[float, int] = {}
+
+
+@pytest.mark.parametrize("p_single", [0.2, 0.8, 1.0])
+def test_move_mix(benchmark, report, p_single):
+    study = pcr_case_study()
+
+    def place():
+        placer = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(), p_single=p_single, seed=13
+        )
+        return placer.place(study.schedule, study.binding)
+
+    result = benchmark.pedantic(place, rounds=1, iterations=1)
+    result.placement.validate()
+    _results[p_single] = result.area_cells
+
+    if len(_results) == 3:
+        report(
+            "Ablation A1: move mix p (single vs pair moves)",
+            format_table(
+                ("p_single", "area (cells)"),
+                [(f"{p:g}", a) for p, a in sorted(_results.items())],
+            )
+            + "\n(paper default direction: mostly single-module displacement)",
+        )

@@ -1,0 +1,52 @@
+"""Ablation A-transport — transport-aware placement (extension).
+
+The paper's successors add droplet-transport distance to the placement
+objective; our TransportAwareCost implements that extension. This
+ablation compares area-only against transport-weighted placement on
+PCR: the weighted run should cut the total producer->consumer haul at
+little or no area cost.
+"""
+
+import pytest
+
+from repro.assay.protocols.pcr import build_pcr_mixing_graph
+from repro.experiments.pcr import pcr_case_study
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.placement.transport import TransportAwareCost
+from repro.util.tables import format_table
+
+_results: dict[str, tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("variant", ["area-only", "transport-aware"])
+def test_transport_aware_placement(benchmark, report, variant):
+    study = pcr_case_study()
+    graph = build_pcr_mixing_graph()
+    meter = TransportAwareCost(graph)  # used only to measure distance
+    cost = None
+    if variant == "transport-aware":
+        cost = TransportAwareCost(graph, transport_weight=0.8)
+
+    def place():
+        placer = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(), cost=cost, seed=31
+        )
+        return placer.place(study.schedule, study.binding)
+
+    result = benchmark.pedantic(place, rounds=1, iterations=1)
+    result.placement.validate()
+    _results[variant] = (
+        result.area_cells,
+        meter.transport_distance(result.placement),
+    )
+
+    if len(_results) == 2:
+        assert _results["transport-aware"][1] <= _results["area-only"][1]
+        report(
+            "Ablation A-transport: transport-aware placement",
+            format_table(
+                ("variant", "area (cells)", "transport (cells)"),
+                [(k, a, t) for k, (a, t) in sorted(_results.items())],
+            ),
+        )

@@ -1,0 +1,36 @@
+"""Section 6.1 baseline — the greedy placer.
+
+The paper's baseline packs largest-area-first at bottom-left corners,
+yielding 189 mm^2 (84 cells) on PCR; the SA placer then beats it by
+25%. This bench times the greedy placer and reports its area.
+"""
+
+from repro.experiments import paper_constants as paper
+from repro.experiments.pcr import pcr_case_study
+from repro.placement.greedy import GreedyPlacer
+from repro.util.tables import format_table
+
+
+def test_baseline_greedy(benchmark, report):
+    study = pcr_case_study()
+    placer = GreedyPlacer()
+
+    result = benchmark(placer.place, study.schedule, study.binding)
+
+    result.placement.validate()
+    assert len(result.placement) == 7
+    # Ballpark of the paper's 84-cell baseline.
+    assert 63 <= result.area_cells <= 110
+
+    w, h = result.placement.array_dims()
+    report(
+        "Greedy baseline (Section 6.1)",
+        format_table(
+            ("metric", "paper", "measured"),
+            [
+                ("area (cells)", paper.GREEDY_AREA_CELLS, result.area_cells),
+                ("area (mm^2)", f"{paper.GREEDY_AREA_MM2:g}", f"{result.area_mm2:g}"),
+                ("array", "-", f"{w}x{h}"),
+            ],
+        ),
+    )

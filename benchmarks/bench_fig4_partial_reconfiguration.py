@@ -1,0 +1,38 @@
+"""Figure 4 — initial placement and partial reconfiguration.
+
+Times the on-line relocation of a module off a faulty cell — the
+operation that must be "fast enough for dynamic on-line reconfiguration
+during field operation" (paper Section 5.1).
+"""
+
+from repro.experiments.fig4 import run_reconfiguration_example
+from repro.fault.reconfigure import PartialReconfigurer
+from repro.viz.ascii_art import render_placement
+
+
+def test_fig4_partial_reconfiguration(benchmark, report):
+    example = run_reconfiguration_example(seed=23)
+    engine = PartialReconfigurer()
+
+    # Benchmark the pure relocation (the field-operation-critical path).
+    updated, plan = benchmark(
+        engine.apply, example.placement_before, example.faulty_cell
+    )
+
+    assert plan.moved_ops
+    updated.validate()
+    for op in plan.moved_ops:
+        assert not updated.get(op).footprint.contains_point(example.faulty_cell)
+
+    lines = [
+        f"faulty cell: {example.faulty_cell}",
+        f"relocated: {', '.join(str(r) for r in plan.relocations)}",
+        f"total droplet migration distance: {plan.total_migration_distance} cells",
+        "",
+        "before:",
+        render_placement(example.placement_before, use_core=True, legend=False),
+        "",
+        "after:",
+        render_placement(updated, use_core=True, legend=False),
+    ]
+    report("Figure 4: partial reconfiguration example", "\n".join(lines))

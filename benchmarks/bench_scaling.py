@@ -1,0 +1,26 @@
+"""Scaling study — the placer beyond the paper's 7-module case study.
+
+The paper's conclusion anticipates steadily growing assay complexity;
+this bench places balanced mixing trees of 7, 15, and 31 operations and
+reports makespan, area vs the concurrency lower bound, FTI, and
+runtime scaling.
+"""
+
+from repro.experiments.scaling import run_scaling_study
+
+
+def test_scaling_study(benchmark, report):
+    study = benchmark.pedantic(
+        run_scaling_study, kwargs={"seed": 7}, rounds=1, iterations=1
+    )
+
+    rows = study.rows
+    assert [r.leaves for r in rows] == [4, 8, 16]
+    # Sanity on the shape: more operations never shrink the schedule or
+    # the placed area; the area always covers the demand lower bound.
+    makespans = [r.makespan_s for r in rows]
+    assert makespans == sorted(makespans)
+    for r in rows:
+        assert r.area_cells >= r.peak_demand_cells
+
+    report("Scaling study (balanced mix trees)", study.table_text())

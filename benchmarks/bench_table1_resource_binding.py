@@ -1,0 +1,21 @@
+"""Table 1 — resource binding in PCR.
+
+Regenerates the binding table (operation, hardware, module footprint,
+mixing time) from the module library and times the binder. The library
+must match every row of the paper's Table 1 exactly.
+"""
+
+from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
+from repro.experiments.pcr import pcr_case_study, verify_table1
+from repro.synthesis.binder import ResourceBinder
+
+
+def test_table1_resource_binding(benchmark, report):
+    graph = build_pcr_mixing_graph()
+    binder = ResourceBinder()
+
+    binding = benchmark(binder.bind, graph, PCR_BINDING)
+
+    assert len(binding) == 7
+    assert verify_table1() == [], "module library deviates from Table 1"
+    report("Table 1: resource binding in PCR", pcr_case_study().table1_text())

@@ -1,0 +1,38 @@
+"""Table 2 — area/FTI trade-off over beta in {10, 20, 30, 40, 50, 60}.
+
+The paper sweeps the fault-tolerance weight from "disposable glucose
+detector" (small beta, small area) to "implantable drug dosing" (large
+beta, FTI 1.0). The reproduced *shape*: area and FTI grow with beta,
+the min-area solution appears at beta = 10, and full coverage (FTI 1.0)
+is reached at the high end.
+"""
+
+from repro.experiments.table2 import run_beta_sweep
+from repro.placement.annealer import AnnealingParams
+
+
+def test_table2_beta_sweep(benchmark, report):
+    sweep = benchmark.pedantic(
+        run_beta_sweep,
+        kwargs={"seed": 7, "stage1_params": AnnealingParams.fast()},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = sweep.rows
+    assert len(rows) == 6
+    # Directional shape (individual rows carry SA noise):
+    assert rows[-1].fti > rows[0].fti
+    assert rows[-1].area_mm2 >= rows[0].area_mm2
+    assert sweep.reaches_full_coverage()
+    assert sweep.fti_is_monotone(tolerance=0.15)
+    for row in rows:
+        row.result.placement.validate()
+
+    lines = [
+        sweep.table_text(),
+        "",
+        f"FTI monotone in beta (tol 0.15): {sweep.fti_is_monotone(0.15)}",
+        f"reaches FTI 1.0 at high beta: {sweep.reaches_full_coverage()}",
+    ]
+    report("Table 2: beta sweep", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one table/figure of the paper. Regenerated
+rows are registered through the ``report`` fixture and printed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows both
+the timings and the paper-vs-measured tables without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_SECTIONS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a titled text block for the end-of-run report."""
+
+    def add(title: str, text: str) -> None:
+        _SECTIONS.append((title, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured report")
+    for title, text in _SECTIONS:
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _SECTIONS.clear()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 2: the area / fault-tolerance frontier.
+
+The designer knob beta weighs fault tolerance against chip area in the
+two-stage placer. The paper's guidance (Section 6.3): implantable
+drug-dosing systems want large beta (safety first), disposable one-shot
+glucose detectors want small beta (cost first). Sweeping beta traces
+that frontier.
+
+Run:  python examples/beta_tradeoff_sweep.py [--full]
+"""
+
+import argparse
+
+from repro.experiments.table2 import run_beta_sweep
+from repro.placement.annealer import AnnealingParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger annealing preset (slower, better placements)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    params = AnnealingParams.balanced() if args.full else AnnealingParams.fast()
+    print("sweeping beta over {10, 20, 30, 40, 50, 60} (this runs the")
+    print("two-stage annealer six times; expect a minute or two)...")
+    print()
+    sweep = run_beta_sweep(seed=args.seed, stage1_params=params)
+    print(sweep.table_text())
+    print()
+
+    # An ASCII frontier plot: area on x, FTI on y.
+    print("frontier (x = area mm^2, * = measured solution):")
+    amin = min(r.area_mm2 for r in sweep.rows)
+    amax = max(r.area_mm2 for r in sweep.rows)
+    span = max(amax - amin, 1e-9)
+    for row in sweep.rows:
+        col = int(40 * (row.area_mm2 - amin) / span)
+        bar = " " * col + "*"
+        print(f"  beta={row.beta:>4g} FTI={row.fti:.4f} |{bar}")
+    print()
+    print("designer guidance (paper Section 6.3):")
+    print("  small beta  -> disposable, cost-sensitive chips (compact, fragile)")
+    print("  large beta  -> safety-critical chips (every single fault tolerable)")
+
+
+if __name__ == "__main__":
+    main()

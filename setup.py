@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments whose tooling predates PEP 660
+editable installs (e.g. offline boxes without the `wheel` package,
+where `pip install -e .` falls back to the legacy code path).
+"""
+
+from setuptools import setup
+
+setup()

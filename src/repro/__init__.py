@@ -1,0 +1,127 @@
+"""repro — fault-tolerant, dynamically-reconfigurable DMFB CAD.
+
+A production-quality reproduction of Su & Chakrabarty, "Design of
+Fault-Tolerant and Dynamically-Reconfigurable Microfluidic Biochips"
+(DATE 2005): simulated-annealing module placement for digital
+microfluidic biochips with area and fault tolerance as placement
+criteria, plus the full substrate stack (assay modeling, architectural
+synthesis, maximal-empty-rectangle fault analysis, partial
+reconfiguration, on-line testing, and a droplet-level simulator).
+
+Quickstart::
+
+    from repro import (
+        build_pcr_mixing_graph, PCR_BINDING, SynthesisFlow, TwoStagePlacer
+    )
+
+    flow = SynthesisFlow(placer=TwoStagePlacer(beta=30, seed=7))
+    result = flow.run(build_pcr_mixing_graph(), explicit_binding=PCR_BINDING)
+    print(result.summary())
+"""
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.operations import Operation, OperationType
+from repro.assay.protocols.dilution import build_serial_dilution_graph
+from repro.assay.protocols.glucose import build_multiplexed_diagnostics_graph
+from repro.assay.protocols.pcr import (
+    PCR_BINDING,
+    build_pcr_full_graph,
+    build_pcr_mixing_graph,
+)
+from repro.assay.synthetic import build_mix_tree, random_assay
+from repro.fault.fti import FTIReport, compute_fti
+from repro.fault.injection import FaultInjector, estimate_survival_probability
+from repro.fault.tolerance import ToleranceAnalyzer
+from repro.fault.mer import (
+    brute_force_maximal_empty_rectangles,
+    find_maximal_empty_rectangles,
+)
+from repro.fault.reconfigure import PartialReconfigurer, ReconfigurationPlan
+from repro.geometry import Box, Interval, Point, Rect
+from repro.grid.array import MicrofluidicArray, Port
+from repro.grid.occupancy import OccupancyGrid
+from repro.modules.kinds import ModuleKind
+from repro.modules.library import ModuleLibrary, standard_library
+from repro.modules.module import ModuleSpec
+from repro.placement.annealer import AnnealingParams, SimulatedAnnealing
+from repro.placement.cost import AreaCost, FaultAwareCost
+from repro.placement.greedy import GreedyPlacer
+from repro.placement.model import PlacedModule, Placement
+from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
+from repro.placement.transport import TransportAwareCost
+from repro.placement.two_stage import TwoStagePlacer, TwoStageResult
+from repro.synthesis.binder import Binding, ResourceBinder
+from repro.synthesis.flow import SynthesisFlow, SynthesisResult
+from repro.synthesis.schedule import Schedule
+from repro.synthesis.scheduler import alap_schedule, asap_schedule, list_schedule
+from repro.util.errors import (
+    BindingError,
+    PlacementError,
+    ReconfigurationError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnealingParams",
+    "AreaCost",
+    "Binding",
+    "BindingError",
+    "Box",
+    "FTIReport",
+    "FaultAwareCost",
+    "FaultInjector",
+    "GreedyPlacer",
+    "Interval",
+    "MicrofluidicArray",
+    "ModuleKind",
+    "ModuleLibrary",
+    "ModuleSpec",
+    "OccupancyGrid",
+    "Operation",
+    "OperationType",
+    "PCR_BINDING",
+    "PartialReconfigurer",
+    "PlacedModule",
+    "Placement",
+    "PlacementError",
+    "PlacementResult",
+    "Point",
+    "Port",
+    "ReconfigurationError",
+    "ReconfigurationPlan",
+    "Rect",
+    "ReproError",
+    "ResourceBinder",
+    "RoutingError",
+    "Schedule",
+    "ScheduleError",
+    "SequencingGraph",
+    "SimulatedAnnealing",
+    "SimulatedAnnealingPlacer",
+    "SimulationError",
+    "SynthesisFlow",
+    "SynthesisResult",
+    "ToleranceAnalyzer",
+    "TransportAwareCost",
+    "TwoStagePlacer",
+    "TwoStageResult",
+    "alap_schedule",
+    "asap_schedule",
+    "brute_force_maximal_empty_rectangles",
+    "build_mix_tree",
+    "build_multiplexed_diagnostics_graph",
+    "build_pcr_full_graph",
+    "build_pcr_mixing_graph",
+    "build_serial_dilution_graph",
+    "compute_fti",
+    "estimate_survival_probability",
+    "find_maximal_empty_rectangles",
+    "list_schedule",
+    "random_assay",
+    "standard_library",
+]

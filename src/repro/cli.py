@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's day-to-day uses without writing code:
+
+* ``flow`` — synthesize a built-in protocol end to end and print the
+  schedule, placement, and FTI analysis.
+* ``sweep`` — the Table 2 beta sweep.
+* ``experiments`` — the full paper-vs-measured report.
+* ``explore`` — architectural design-space exploration (binding
+  strategy x concurrency cap frontier).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.assay.protocols.dilution import build_serial_dilution_graph
+from repro.assay.protocols.glucose import build_multiplexed_diagnostics_graph
+from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
+from repro.assay.synthetic import build_mix_tree
+from repro.placement.annealer import AnnealingParams
+
+PROTOCOLS = {
+    "pcr": lambda: (build_pcr_mixing_graph(), PCR_BINDING),
+    "dilution": lambda: (build_serial_dilution_graph(4), None),
+    "ivd": lambda: (build_multiplexed_diagnostics_graph(2, 2), None),
+    "tree8": lambda: (build_mix_tree(8), None),
+    "tree16": lambda: (build_mix_tree(16), None),
+}
+
+
+def _params(fast: bool) -> AnnealingParams:
+    return AnnealingParams.fast() if fast else AnnealingParams.balanced()
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    from repro.placement.sa_placer import SimulatedAnnealingPlacer
+    from repro.placement.two_stage import TwoStagePlacer
+    from repro.synthesis.flow import SynthesisFlow
+    from repro.viz.ascii_art import render_fti_map, render_gantt, render_placement
+
+    graph, binding = PROTOCOLS[args.protocol]()
+    if args.beta is not None:
+        placer = TwoStagePlacer(
+            beta=args.beta, stage1_params=_params(args.fast), seed=args.seed
+        )
+    else:
+        placer = SimulatedAnnealingPlacer(params=_params(args.fast), seed=args.seed)
+    flow = SynthesisFlow(placer=placer, max_concurrent_ops=args.max_concurrent)
+    result = flow.run(graph, explicit_binding=binding)
+
+    print(render_gantt(result.schedule))
+    print()
+    print(render_placement(result.placement_result.placement))
+    print()
+    if result.fti_report is not None:
+        print(render_fti_map(result.fti_report))
+        print()
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import run_beta_sweep
+
+    sweep = run_beta_sweep(seed=args.seed, stage1_params=_params(args.fast))
+    print(sweep.table_text())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all_experiments
+
+    report = run_all_experiments(seed=args.seed, fast=args.fast)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.synthesis.architect import ArchitecturalExplorer
+
+    graph, _ = PROTOCOLS[args.protocol]()
+    explorer = ArchitecturalExplorer(params=_params(args.fast), seed=args.seed)
+    result = explorer.explore(graph)
+    print(result.table_text())
+    print()
+    print("pareto front (makespan / area / FTI):")
+    for p in result.pareto_front:
+        print(
+            f"  {p.strategy:<9} cap={p.max_concurrent_ops}: "
+            f"{p.makespan_s:g} s, {p.area_cells} cells, FTI {p.fti:.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant DMFB CAD (Su & Chakrabarty, DATE 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flow = sub.add_parser("flow", help="synthesize a protocol end to end")
+    flow.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
+    flow.add_argument("--beta", type=float, default=None,
+                      help="enable the fault-aware two-stage placer at this beta")
+    flow.add_argument("--max-concurrent", type=int, default=3)
+    flow.set_defaults(func=cmd_flow)
+
+    sweep = sub.add_parser("sweep", help="Table 2 beta sweep")
+    sweep.set_defaults(func=cmd_sweep)
+
+    exps = sub.add_parser("experiments", help="full paper-vs-measured report")
+    exps.add_argument("--out", type=str, default=None)
+    exps.set_defaults(func=cmd_experiments)
+
+    explore = sub.add_parser("explore", help="binding/concurrency design space")
+    explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
+    explore.set_defaults(func=cmd_explore)
+
+    for p in (flow, sweep, exps, explore):
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--fast", action="store_true", default=True,
+                       help="small annealing preset (default)")
+        p.add_argument("--full", dest="fast", action="store_false",
+                       help="larger annealing preset")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

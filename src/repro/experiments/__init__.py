@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module reproduces one artifact of the evaluation (see DESIGN.md's
+experiment index); :mod:`repro.experiments.runner` runs them all and
+renders the paper-vs-measured report that EXPERIMENTS.md records.
+"""
+
+from repro.experiments import paper_constants
+from repro.experiments.fig2 import demonstrate_3d_reduction
+from repro.experiments.fig4 import run_reconfiguration_example
+from repro.experiments.fig5 import describe_pcr_graph
+from repro.experiments.fig7 import run_min_area_experiment
+from repro.experiments.fig8 import run_enhanced_experiment
+from repro.experiments.pcr import pcr_case_study
+from repro.experiments.table2 import run_beta_sweep
+
+# NOTE: repro.experiments.runner is intentionally not imported here so
+# that `python -m repro.experiments.runner` works without the runpy
+# double-import warning; import run_all_experiments from the module.
+
+__all__ = [
+    "demonstrate_3d_reduction",
+    "describe_pcr_graph",
+    "paper_constants",
+    "pcr_case_study",
+    "run_beta_sweep",
+    "run_enhanced_experiment",
+    "run_min_area_experiment",
+    "run_reconfiguration_example",
+]

@@ -1,0 +1,49 @@
+"""Figure 5: the sequencing graph for the PCR mixing stage.
+
+Regenerates the graph's structural facts — the balanced binary mixing
+tree — so the benchmark can assert them and export the figure as SVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.protocols.pcr import build_pcr_mixing_graph
+
+
+@dataclass(frozen=True)
+class PCRGraphFacts:
+    """Structural description of Figure 5."""
+
+    graph: SequencingGraph
+    node_count: int
+    edge_count: int
+    edges: tuple[tuple[str, str], ...]
+    levels: dict[str, int]
+    critical_path: tuple[str, ...]
+
+    @property
+    def is_balanced_binary_tree(self) -> bool:
+        """Four leaves, two mid mixes, one root — the PCR mixing shape."""
+        by_level: dict[int, int] = {}
+        for lvl in self.levels.values():
+            by_level[lvl] = by_level.get(lvl, 0) + 1
+        return by_level == {0: 4, 1: 2, 2: 1}
+
+
+def describe_pcr_graph() -> PCRGraphFacts:
+    """Build and describe the Figure 5 graph."""
+    graph = build_pcr_mixing_graph()
+    durations = {
+        "M1": 10.0, "M2": 5.0, "M3": 6.0, "M4": 5.0,
+        "M5": 5.0, "M6": 10.0, "M7": 3.0,
+    }
+    return PCRGraphFacts(
+        graph=graph,
+        node_count=len(graph),
+        edge_count=len(graph.edges()),
+        edges=tuple(graph.edges()),
+        levels=graph.levels(),
+        critical_path=tuple(graph.critical_path(durations)),
+    )

@@ -1,0 +1,69 @@
+"""Every number the paper reports, for paper-vs-measured comparisons.
+
+Sources are the DATE 2005 text: Section 6.1 (greedy baseline and
+min-area SA), Section 5.3/6.1 (FTI of the min-area placement), Section
+6.2 (two-stage solution), and Table 2 (the beta sweep).
+"""
+
+#: Electrode pitch, mm (Table 1 footnote).
+PITCH_MM = 1.5
+
+#: Plate gap, micrometres (Table 1 footnote).
+GAP_UM = 600.0
+
+#: mm^2 per cell at the paper's pitch.
+CELL_AREA_MM2 = PITCH_MM * PITCH_MM
+
+#: Greedy baseline: "The total area of the placement generated is
+#: 189 mm^2, i.e., it consists of 84 cells."
+GREEDY_AREA_CELLS = 84
+GREEDY_AREA_MM2 = 189.0
+
+#: Min-area SA placement: "Its total area is 141.75 mm^2 (63 cells),
+#: which is 25% less compared to the baseline" — a 7x9 array.
+MIN_AREA_CELLS = 63
+MIN_AREA_MM2 = 141.75
+MIN_AREA_DIMS = (7, 9)
+MIN_AREA_IMPROVEMENT_PCT = 25.0
+
+#: "The FTI of this design is only 0.1270, which implies that only 8
+#: cells in this 7x9 array are C-covered."
+MIN_AREA_FTI = 0.1270
+MIN_AREA_COVERED_CELLS = 8
+
+#: Two-stage result (beta = 30): 173.25 mm^2 (7x11 = 77 cells),
+#: FTI 0.8052 — "+534% FTI for +22.2% area".
+ENHANCED_AREA_MM2 = 173.25
+ENHANCED_AREA_CELLS = 77
+ENHANCED_DIMS = (7, 11)
+ENHANCED_FTI = 0.8052
+ENHANCED_FTI_INCREASE_PCT = 534.0
+ENHANCED_AREA_INCREASE_PCT = 22.2
+ENHANCED_BETA = 30
+
+#: Table 2: beta -> (area mm^2, FTI).
+TABLE2 = {
+    10: (141.75, 0.2857),
+    20: (157.5, 0.7143),
+    30: (173.25, 0.8052),
+    40: (189.0, 0.8571),
+    50: (204.75, 0.9780),
+    60: (222.75, 1.0),
+}
+
+#: Table 1: op -> (hardware, footprint cells (w, h), mixing time s).
+TABLE1 = {
+    "M1": ("2x2 electrode array", (4, 4), 10.0),
+    "M2": ("4-electrode linear array", (3, 6), 5.0),
+    "M3": ("2x3 electrode array", (4, 5), 6.0),
+    "M4": ("4-electrode linear array", (3, 6), 5.0),
+    "M5": ("4-electrode linear array", (3, 6), 5.0),
+    "M6": ("2x2 electrode array", (4, 4), 10.0),
+    "M7": ("2x4 electrode array", (4, 6), 3.0),
+}
+
+#: CPU-time anecdotes on the paper's 1.0 GHz Pentium-III (for context
+#: only — we compare relative costs, not wall-clock).
+PAPER_PLACEMENT_CPU_MIN = 5.0
+PAPER_FTI_CPU_S = 1.7
+PAPER_TWO_STAGE_CPU_MIN = 20.0

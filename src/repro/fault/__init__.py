@@ -1,0 +1,55 @@
+"""Fault tolerance and dynamic reconfiguration (paper Section 5).
+
+The paper's fault model is a single faulty cell, detected on-line by the
+test methodology of refs [13]/[14] (simulated in :mod:`repro.testing`).
+Tolerance is achieved by *partial reconfiguration*: relocating the
+module that contains the faulty cell to fault-free unused cells. This
+package provides:
+
+* :mod:`repro.fault.staircase` — the staircase data structure of
+  Edmonds et al. used to mine empty spaces;
+* :mod:`repro.fault.mer` — maximal-empty-rectangle enumeration (fast
+  staircase algorithm + brute-force reference);
+* :mod:`repro.fault.fti` — the fault tolerance index, FTI = k/(m*n),
+  with three interchangeable algorithms;
+* :mod:`repro.fault.reconfigure` — the on-line partial reconfiguration
+  engine;
+* :mod:`repro.fault.injection` — fault injection and Monte-Carlo
+  survival estimation.
+"""
+
+from repro.fault.fti import FTIReport, ModuleRelocatability, compute_fti
+from repro.fault.injection import FaultInjector, estimate_survival_probability
+from repro.fault.mer import (
+    brute_force_maximal_empty_rectangles,
+    find_maximal_empty_rectangles,
+    fits_any_rectangle,
+)
+from repro.fault.reconfigure import PartialReconfigurer, ReconfigurationPlan, Relocation
+from repro.fault.staircase import Staircase, Step
+from repro.fault.tolerance import (
+    ModuleCriticality,
+    MultiFaultResult,
+    SpareStatistics,
+    ToleranceAnalyzer,
+)
+
+__all__ = [
+    "FTIReport",
+    "FaultInjector",
+    "ModuleCriticality",
+    "ModuleRelocatability",
+    "MultiFaultResult",
+    "PartialReconfigurer",
+    "ReconfigurationPlan",
+    "Relocation",
+    "SpareStatistics",
+    "Staircase",
+    "Step",
+    "ToleranceAnalyzer",
+    "brute_force_maximal_empty_rectangles",
+    "compute_fti",
+    "estimate_survival_probability",
+    "find_maximal_empty_rectangles",
+    "fits_any_rectangle",
+]

@@ -1,0 +1,327 @@
+"""The fault tolerance index (FTI), paper Section 5.2/5.3.
+
+For a configuration C on an ``m x n`` array, a cell is *C-covered* if
+the biochip still works when that single cell fails: either no module
+ever uses the cell, or every module whose footprint contains it can be
+relocated by partial reconfiguration — moved to contiguous fault-free
+cells, avoiding the faulty cell, without disturbing concurrently
+operating modules. Then ``FTI = k / (m * n)`` where k is the number of
+C-covered cells: FTI = 1 means any single fault is tolerable, FTI = 0
+means none is.
+
+Three interchangeable algorithms (all enforced equivalent by the test
+suite):
+
+``mer``
+    The paper's Section 5.3 procedure: remove the faulty module, mark
+    the faulty cell and all concurrently operating modules as occupied,
+    enumerate maximal empty rectangles with the staircase sweep, and
+    check whether any MER accommodates the module.
+``placements``
+    Summed-area-table position counting: enumerate every feasible
+    relocation of the module once, then decide each faulty cell by
+    whether some feasible placement avoids it. Same semantics,
+    asymptotically cheaper per configuration — used inside the
+    annealer's inner loop.
+``bruteforce``
+    Direct per-cell, per-position scan in pure Python; the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.fault.mer import find_maximal_empty_rectangles, fits_any_rectangle
+from repro.geometry import Point
+from repro.grid.occupancy import OccupancyGrid
+
+if TYPE_CHECKING:  # placement imports fault's cost hooks; avoid the cycle
+    from repro.placement.model import PlacedModule, Placement
+
+_METHODS = ("placements", "mer", "bruteforce")
+
+
+@dataclass(frozen=True)
+class ModuleRelocatability:
+    """Relocation analysis of one placed module."""
+
+    op_id: str
+    #: Number of feasible (x, y, orientation) relocation targets, the
+    #: faulty cell not yet considered.
+    feasible_positions: int
+    #: Footprint cells whose failure this module survives.
+    relocatable_cells: frozenset[Point]
+    #: Footprint cells whose failure strands this module.
+    stuck_cells: frozenset[Point]
+
+    @property
+    def fully_relocatable(self) -> bool:
+        """True if the module survives a fault on any of its cells."""
+        return not self.stuck_cells
+
+
+@dataclass(frozen=True)
+class FTIReport:
+    """Complete C-coveredness analysis of a placement."""
+
+    width: int
+    height: int
+    covered: frozenset[Point]
+    per_module: dict[str, ModuleRelocatability]
+    method: str
+
+    @property
+    def cell_count(self) -> int:
+        """Total array cells, the FTI denominator (m * n)."""
+        return self.width * self.height
+
+    @property
+    def fault_tolerance_number(self) -> int:
+        """k — the number of C-covered cells."""
+        return len(self.covered)
+
+    @property
+    def fti(self) -> float:
+        """The fault tolerance index, k / (m * n)."""
+        return self.fault_tolerance_number / self.cell_count
+
+    @cached_property
+    def uncovered(self) -> frozenset[Point]:
+        """Cells whose failure the configuration cannot tolerate."""
+        all_cells = {
+            Point(x, y)
+            for y in range(1, self.height + 1)
+            for x in range(1, self.width + 1)
+        }
+        return frozenset(all_cells - self.covered)
+
+    def is_covered(self, p: Point | tuple[int, int]) -> bool:
+        """True if cell *p* is C-covered."""
+        return Point(*p) in self.covered
+
+    def __str__(self) -> str:
+        return (
+            f"FTI {self.fti:.4f} ({self.fault_tolerance_number}/{self.cell_count} "
+            f"cells C-covered on {self.width}x{self.height}, method={self.method})"
+        )
+
+
+def compute_fti(
+    placement: Placement,
+    width: int | None = None,
+    height: int | None = None,
+    allow_rotation: bool = True,
+    method: str = "placements",
+) -> FTIReport:
+    """Compute the FTI of *placement*.
+
+    By default the placement is normalized so its bounding array — the
+    array one would manufacture — is exactly the FTI denominator, as in
+    the paper's "7x9 = 63 cells, FTI 0.1270". Pass explicit *width* and
+    *height* to evaluate the placement as-is on a larger array (spare
+    rows/columns then raise coverage).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown FTI method {method!r}; choose from {_METHODS}")
+    if (width is None) != (height is None):
+        raise ValueError("pass both width and height, or neither")
+    if width is None:
+        placement = placement.normalized()
+        width, height = placement.array_dims()
+    else:
+        bb = placement.bounding_box()
+        if bb.x < 1 or bb.y < 1 or bb.x2 > width or bb.y2 > height:
+            raise ValueError(
+                f"placement bounding box {bb} exceeds the {width}x{height} array"
+            )
+    assert height is not None
+
+    per_module: dict[str, ModuleRelocatability] = {}
+    uncovered: set[Point] = set()
+    for pm in placement:
+        analysis = _analyze_module(placement, pm, width, height, allow_rotation, method)
+        per_module[pm.op_id] = analysis
+        uncovered.update(analysis.stuck_cells)
+
+    all_cells = {
+        Point(x, y) for y in range(1, height + 1) for x in range(1, width + 1)
+    }
+    return FTIReport(
+        width=width,
+        height=height,
+        covered=frozenset(all_cells - uncovered),
+        per_module=per_module,
+        method=method,
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-module analysis
+# ---------------------------------------------------------------------------
+
+
+def _orientations(pm: PlacedModule, allow_rotation: bool) -> list[tuple[int, int]]:
+    w, h = pm.spec.footprint_width, pm.spec.footprint_height
+    dims = [(w, h)]
+    if allow_rotation and w != h:
+        dims.append((h, w))
+    return dims
+
+
+def _obstacle_grid(
+    placement: Placement, pm: PlacedModule, width: int, height: int
+) -> OccupancyGrid:
+    """Cells the relocated *pm* must avoid: every concurrently operating
+    module's footprint. *pm* itself is removed — its old cells are free
+    for reuse (only the faulty one is later marked)."""
+    return placement.occupancy_for_span(
+        pm.interval, exclude=pm.op_id, width=width, height=height
+    )
+
+
+def _analyze_module(
+    placement: Placement,
+    pm: PlacedModule,
+    width: int,
+    height: int,
+    allow_rotation: bool,
+    method: str,
+) -> ModuleRelocatability:
+    if method == "placements":
+        return _analyze_placements(placement, pm, width, height, allow_rotation)
+    if method == "mer":
+        return _analyze_mer(placement, pm, width, height, allow_rotation)
+    return _analyze_bruteforce(placement, pm, width, height, allow_rotation)
+
+
+def _analyze_placements(
+    placement: Placement,
+    pm: PlacedModule,
+    width: int,
+    height: int,
+    allow_rotation: bool,
+) -> ModuleRelocatability:
+    """Summed-area-table algorithm.
+
+    For each orientation, mark position (x, y) feasible when the w x h
+    window there contains no obstacle. Then a faulty cell f is
+    survivable iff some feasible placement's footprint misses f, i.e.
+    ``cover_count[f] < total_feasible`` where cover_count accumulates,
+    per cell, how many feasible footprints contain it.
+    """
+    occ = _obstacle_grid(placement, pm, width, height).matrix_view().astype(np.int64)
+    # Summed-area table with a zero border: S[r, c] = sum of occ[:r, :c].
+    sat = np.zeros((height + 1, width + 1), dtype=np.int64)
+    sat[1:, 1:] = occ.cumsum(axis=0).cumsum(axis=1)
+
+    total = 0
+    cover = np.zeros((height + 1, width + 1), dtype=np.int64)  # diff array
+    for w, h in _orientations(pm, allow_rotation):
+        if w > width or h > height:
+            continue
+        # window_sum[r, c] = occupied cells in rows r..r+h-1, cols c..c+w-1
+        window = (
+            sat[h:, w:]
+            - sat[:-h, w:][: height - h + 1]
+            - sat[h:, : width - w + 1]
+            + sat[: height - h + 1, : width - w + 1]
+        )
+        feasible = window == 0
+        total += int(feasible.sum())
+        rows, cols = np.nonzero(feasible)
+        # 2-D difference trick: +1 at (r, c), -1 at (r, c+w) and (r+h, c),
+        # +1 at (r+h, c+w); cumulative sums later yield per-cell counts.
+        np.add.at(cover, (rows, cols), 1)
+        np.add.at(cover, (rows, cols + w), -1)
+        np.add.at(cover, (rows + h, cols), -1)
+        np.add.at(cover, (rows + h, cols + w), 1)
+    counts = cover.cumsum(axis=0).cumsum(axis=1)[:height, :width]
+
+    relocatable, stuck = set(), set()
+    for p in pm.footprint.cells():
+        if total > int(counts[p.y - 1, p.x - 1]):
+            relocatable.add(p)
+        else:
+            stuck.add(p)
+    return ModuleRelocatability(
+        op_id=pm.op_id,
+        feasible_positions=total,
+        relocatable_cells=frozenset(relocatable),
+        stuck_cells=frozenset(stuck),
+    )
+
+
+def _analyze_mer(
+    placement: Placement,
+    pm: PlacedModule,
+    width: int,
+    height: int,
+    allow_rotation: bool,
+) -> ModuleRelocatability:
+    """The paper's algorithm: per faulty cell, mark it occupied alongside
+    the concurrent modules, enumerate maximal empty rectangles, and test
+    whether any accommodates the module."""
+    base = _obstacle_grid(placement, pm, width, height)
+    w0, h0 = pm.spec.footprint_width, pm.spec.footprint_height
+
+    relocatable, stuck = set(), set()
+    feasible_unmarked = _count_feasible(base, pm, width, height, allow_rotation)
+    for p in pm.footprint.cells():
+        grid = base.copy()
+        grid.set(p, 1)
+        mers = find_maximal_empty_rectangles(grid)
+        if fits_any_rectangle(mers, w0, h0, allow_rotation):
+            relocatable.add(p)
+        else:
+            stuck.add(p)
+    return ModuleRelocatability(
+        op_id=pm.op_id,
+        feasible_positions=feasible_unmarked,
+        relocatable_cells=frozenset(relocatable),
+        stuck_cells=frozenset(stuck),
+    )
+
+
+def _analyze_bruteforce(
+    placement: Placement,
+    pm: PlacedModule,
+    width: int,
+    height: int,
+    allow_rotation: bool,
+) -> ModuleRelocatability:
+    """Pure-Python reference: try every position for every faulty cell."""
+    grid = _obstacle_grid(placement, pm, width, height)
+    positions = list(_iter_feasible(grid, pm, width, height, allow_rotation))
+
+    relocatable, stuck = set(), set()
+    for p in pm.footprint.cells():
+        if any(not rect.contains_point(p) for rect in positions):
+            relocatable.add(p)
+        else:
+            stuck.add(p)
+    return ModuleRelocatability(
+        op_id=pm.op_id,
+        feasible_positions=len(positions),
+        relocatable_cells=frozenset(relocatable),
+        stuck_cells=frozenset(stuck),
+    )
+
+
+def _iter_feasible(grid, pm, width, height, allow_rotation):
+    """Yield every obstacle-free footprint rectangle for *pm*."""
+    from repro.geometry import Rect
+
+    for w, h in _orientations(pm, allow_rotation):
+        for y in range(1, height - h + 2):
+            for x in range(1, width - w + 2):
+                rect = Rect(x, y, w, h)
+                if grid.is_rect_free(rect):
+                    yield rect
+
+
+def _count_feasible(grid, pm, width, height, allow_rotation) -> int:
+    return sum(1 for _ in _iter_feasible(grid, pm, width, height, allow_rotation))

@@ -1,0 +1,127 @@
+"""Maximal-empty-rectangle (MER) enumeration.
+
+A *maximal empty rectangle* is a rectangle of unused cells that no
+other empty rectangle properly contains (paper Section 5.3). Partial
+reconfiguration succeeds exactly when some MER can accommodate the
+faulty module, because any sufficiently large empty rectangle is
+contained in a maximal one.
+
+:func:`find_maximal_empty_rectangles` is the fast staircase sweep
+(linear in matrix size plus output); ``brute_force_maximal_empty_rectangles``
+is the obviously-correct quartic reference used by the test suite and
+the runtime benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fault.staircase import Staircase
+from repro.geometry import Rect
+from repro.grid.occupancy import OccupancyGrid
+
+
+def _as_matrix(grid: OccupancyGrid | np.ndarray) -> np.ndarray:
+    if isinstance(grid, OccupancyGrid):
+        return grid.matrix_view()
+    m = np.asarray(grid)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D occupancy matrix, got shape {m.shape}")
+    return m
+
+
+def find_maximal_empty_rectangles(grid: OccupancyGrid | np.ndarray) -> list[Rect]:
+    """Enumerate all maximal empty rectangles of a 0/1 occupancy grid.
+
+    Sweeps rows bottom-to-top maintaining, per row, the empty-run height
+    of every column and a :class:`~repro.fault.staircase.Staircase`. A
+    step popped at column c is a rectangle that is maximal to the left
+    (a shorter run started it), right (column c's run is shorter), and
+    bottom (some column in its span has exactly its height); it is
+    emitted if it also cannot grow upward (some cell directly above its
+    span is occupied, or it touches the top edge).
+
+    Returns rectangles in paper coordinates (bottom-left cell (1, 1)).
+    """
+    m = _as_matrix(grid)
+    height, width = m.shape
+    out: list[Rect] = []
+    runs = np.zeros(width, dtype=np.int64)
+    staircase = Staircase()
+
+    for r in range(height):
+        row = m[r]
+        # Empty-run depth of each column, ending at row r.
+        runs = np.where(row == 0, runs + 1, 0)
+        if r + 1 < height:
+            above = m[r + 1]
+            # blocked_pref[c] = number of occupied cells in above[0:c].
+            blocked_pref = np.concatenate(([0], np.cumsum(above, dtype=np.int64)))
+        else:
+            blocked_pref = None
+
+        def emit(start: int, end: int, h: int) -> None:
+            # Skip rectangles that could still grow upward.
+            if blocked_pref is not None and blocked_pref[end + 1] == blocked_pref[start]:
+                return
+            out.append(Rect(x=start + 1, y=r - h + 2, width=end - start + 1, height=h))
+
+        for c in range(width):
+            staircase.advance(c, int(runs[c]), emit)
+        staircase.finish_row(width, emit)
+    return out
+
+
+def brute_force_maximal_empty_rectangles(
+    grid: OccupancyGrid | np.ndarray,
+) -> list[Rect]:
+    """Quartic-time reference enumeration (for tests and benchmarks).
+
+    Checks every empty rectangle for maximality by attempting to extend
+    it one cell in each direction.
+    """
+    m = _as_matrix(grid)
+    height, width = m.shape
+    # 2-D prefix sums for O(1) emptiness queries.
+    pref = np.zeros((height + 1, width + 1), dtype=np.int64)
+    pref[1:, 1:] = np.cumsum(np.cumsum(m, axis=0), axis=1)
+
+    def occupied_count(r1: int, c1: int, r2: int, c2: int) -> int:
+        """Occupied cells in rows r1..r2, cols c1..c2 (0-based, inclusive)."""
+        if r1 > r2 or c1 > c2:
+            return 0
+        return int(
+            pref[r2 + 1, c2 + 1] - pref[r1, c2 + 1] - pref[r2 + 1, c1] + pref[r1, c1]
+        )
+
+    out = []
+    for r1 in range(height):
+        for r2 in range(r1, height):
+            for c1 in range(width):
+                for c2 in range(c1, width):
+                    if occupied_count(r1, c1, r2, c2) > 0:
+                        continue
+                    grow_left = c1 > 0 and occupied_count(r1, c1 - 1, r2, c1 - 1) == 0
+                    grow_right = (
+                        c2 < width - 1 and occupied_count(r1, c2 + 1, r2, c2 + 1) == 0
+                    )
+                    grow_down = r1 > 0 and occupied_count(r1 - 1, c1, r1 - 1, c2) == 0
+                    grow_up = (
+                        r2 < height - 1 and occupied_count(r2 + 1, c1, r2 + 1, c2) == 0
+                    )
+                    if not (grow_left or grow_right or grow_down or grow_up):
+                        out.append(
+                            Rect(x=c1 + 1, y=r1 + 1, width=c2 - c1 + 1, height=r2 - r1 + 1)
+                        )
+    return out
+
+
+def fits_any_rectangle(
+    rects: list[Rect], width: int, height: int, allow_rotation: bool = True
+) -> bool:
+    """True if a ``width x height`` footprint fits in any of *rects*.
+
+    This is the paper's relocation test: "check if these [maximal-empty]
+    rectangles can accommodate the faulty module".
+    """
+    return any(r.can_fit(width, height, allow_rotation) for r in rects)

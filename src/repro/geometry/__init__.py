@@ -1,0 +1,19 @@
+"""Geometry primitives for the 3-D packing model of DMFB placement.
+
+The paper models each microfluidic module as a 3-D box: a rectangular
+cell footprint (the base) extruded along the time axis (the height).
+This package provides the rectangle, time-interval, and box algebra that
+the placement, fault-tolerance, and simulation layers share.
+
+Coordinate convention (paper Section 5.2): cells are unit squares on an
+integer lattice; the bottom-left cell of an ``m x n`` array is ``(1, 1)``
+and the top-right cell is ``(m, n)``. A :class:`Rect` with origin
+``(x, y)`` and size ``(width, height)`` covers cells ``x .. x+width-1``
+by ``y .. y+height-1`` inclusive.
+"""
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.geometry.rect import Point, Rect
+
+__all__ = ["Box", "Interval", "Point", "Rect"]

@@ -1,0 +1,46 @@
+"""3-D boxes: the paper's packing primitive (Figure 2).
+
+Each microfluidic module is a box whose base is its cell footprint and
+whose height is its operation time span. Two boxes *conflict* exactly
+when they overlap in all three dimensions — same cells at the same time.
+Because architectural-level synthesis pins every box to its cutting
+plane ``t = S_i``, the packing degrees of freedom are only (x, y),
+which is the "modified 2-D placement" reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.interval import Interval
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Box:
+    """A module footprint extruded over its operation interval."""
+
+    base: Rect
+    span: Interval
+
+    @property
+    def volume(self) -> float:
+        """Cell-seconds occupied: base area times duration."""
+        return self.base.area * self.span.duration
+
+    def conflicts(self, other: "Box") -> bool:
+        """True if the boxes overlap in space *and* time."""
+        return self.span.overlaps(other.span) and self.base.intersects(other.base)
+
+    def conflict_volume(self, other: "Box") -> float:
+        """Overlap volume in cell-seconds (the annealer's penalty unit)."""
+        if not self.span.overlaps(other.span):
+            return 0.0
+        return self.base.overlap_area(other.base) * self.span.overlap_duration(other.span)
+
+    def footprint_at(self, t: float) -> Rect | None:
+        """Return the base if the box is active at instant *t*, else None."""
+        return self.base if self.span.contains_time(t) else None
+
+    def __str__(self) -> str:
+        return f"Box({self.base} over {self.span})"

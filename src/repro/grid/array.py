@@ -1,0 +1,164 @@
+"""The two-dimensional microfluidic array (paper Figure 1(b)).
+
+:class:`MicrofluidicArray` is the manufactured substrate: a ``width x
+height`` lattice of :class:`~repro.grid.cell.Cell` objects plus I/O
+ports (reservoirs / dispensing ports) on the boundary. Geometry-level
+synthesis decides its dimensions; the placement layer only needs the
+dimensions and the set of faulty cells, while the droplet simulator
+uses the per-cell electrode state.
+
+Coordinates are 1-based with ``(1, 1)`` at the bottom-left, matching
+the paper's Section 5.2 convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+from repro.grid.cell import Cell, CellHealth
+
+#: Default electrode pitch in millimetres (paper Table 1 footnote).
+DEFAULT_PITCH_MM = 1.5
+
+#: Default plate gap in micrometres (paper Table 1 footnote).
+DEFAULT_GAP_UM = 600.0
+
+
+@dataclass(frozen=True)
+class Port:
+    """A boundary I/O port: reservoir, dispensing port, or waste outlet."""
+
+    name: str
+    location: Point
+    #: "dispense" ports inject droplets, "waste" ports remove them,
+    #: "sense" ports carry the capacitive detector of the test substrate.
+    kind: str = "dispense"
+
+
+class MicrofluidicArray:
+    """A rectangular array of electrowetting cells with boundary ports."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        pitch_mm: float = DEFAULT_PITCH_MM,
+        gap_um: float = DEFAULT_GAP_UM,
+        ports: Iterable[Port] = (),
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"array dimensions must be >= 1, got {width}x{height}")
+        if pitch_mm <= 0:
+            raise ValueError(f"pitch must be positive, got {pitch_mm}")
+        self.width = width
+        self.height = height
+        self.pitch_mm = pitch_mm
+        self.gap_um = gap_um
+        self._cells: dict[Point, Cell] = {
+            Point(x, y): Cell(x, y)
+            for y in range(1, height + 1)
+            for x in range(1, width + 1)
+        }
+        self._ports: dict[str, Port] = {}
+        for port in ports:
+            self.add_port(port)
+
+    # -- basic geometry --------------------------------------------------------
+
+    @property
+    def bounds(self) -> Rect:
+        """The full array as a rectangle (origin (1, 1))."""
+        return Rect(1, 1, self.width, self.height)
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells (the paper's area unit)."""
+        return self.width * self.height
+
+    @property
+    def cell_area_mm2(self) -> float:
+        """Area of one cell in mm^2 (pitch squared)."""
+        return self.pitch_mm * self.pitch_mm
+
+    @property
+    def area_mm2(self) -> float:
+        """Total array area in mm^2."""
+        return self.cell_count * self.cell_area_mm2
+
+    def in_bounds(self, p: Point | tuple[int, int]) -> bool:
+        """True if cell *p* exists on this array."""
+        px, py = p
+        return 1 <= px <= self.width and 1 <= py <= self.height
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True if *rect* lies entirely on the array."""
+        return self.bounds.contains_rect(rect)
+
+    # -- cell access -----------------------------------------------------------
+
+    def cell(self, p: Point | tuple[int, int]) -> Cell:
+        """Return the cell at *p*; raises ``KeyError`` if out of bounds."""
+        key = Point(*p)
+        if key not in self._cells:
+            raise KeyError(f"cell {key} outside {self.width}x{self.height} array")
+        return self._cells[key]
+
+    def cells(self) -> Iterator[Cell]:
+        """Yield every cell, row by row from the bottom."""
+        for y in range(1, self.height + 1):
+            for x in range(1, self.width + 1):
+                yield self._cells[Point(x, y)]
+
+    def neighbors(self, p: Point | tuple[int, int]) -> list[Point]:
+        """The edge-adjacent in-bounds cells of *p* (droplet moves)."""
+        return [q for q in Point(*p).neighbors4() if self.in_bounds(q)]
+
+    # -- faults ------------------------------------------------------------------
+
+    def mark_faulty(self, p: Point | tuple[int, int]) -> None:
+        """Record a permanent single-cell failure at *p*."""
+        self.cell(p).mark_faulty()
+
+    def repair(self, p: Point | tuple[int, int]) -> None:
+        """Clear the fault at *p*."""
+        self.cell(p).repair()
+
+    def faulty_cells(self) -> list[Point]:
+        """All currently faulty cell locations."""
+        return [
+            Point(c.x, c.y) for c in self.cells() if c.health is CellHealth.FAULTY
+        ]
+
+    def is_faulty(self, p: Point | tuple[int, int]) -> bool:
+        """True if the cell at *p* is faulty."""
+        return self.cell(p).is_faulty
+
+    # -- ports ---------------------------------------------------------------------
+
+    def add_port(self, port: Port) -> None:
+        """Attach a boundary port; its cell must be on the array edge."""
+        p = port.location
+        if not self.in_bounds(p):
+            raise ValueError(f"port {port.name} at {p} is outside the array")
+        on_edge = p.x in (1, self.width) or p.y in (1, self.height)
+        if not on_edge:
+            raise ValueError(f"port {port.name} at {p} is not on the array boundary")
+        if port.name in self._ports:
+            raise ValueError(f"duplicate port name {port.name!r}")
+        self._ports[port.name] = port
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name."""
+        return self._ports[name]
+
+    def ports(self) -> list[Port]:
+        """All attached ports."""
+        return list(self._ports.values())
+
+    def __str__(self) -> str:
+        return (
+            f"MicrofluidicArray({self.width}x{self.height}, "
+            f"pitch={self.pitch_mm}mm, faults={len(self.faulty_cells())})"
+        )

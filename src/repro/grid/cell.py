@@ -1,0 +1,86 @@
+"""Single electrowetting cell: electrode, dielectric, and health state.
+
+The paper's Figure 1(a) shows the cell cross-section: a control
+electrode on the bottom plate, a ground electrode on the top plate,
+hydrophobic insulators on both, and a droplet in filler fluid between
+them. For CAD purposes the cell is a unit square that can be actuated
+(voltage on/off) and can be healthy or faulty; the physical constants
+are carried so the electrowetting model in :mod:`repro.sim` can derive
+transport velocities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CellHealth(enum.Enum):
+    """Health state of a cell, as reported by the test substrate."""
+
+    HEALTHY = "healthy"
+    #: The electrode no longer actuates; droplets cannot be moved onto
+    #: or held on this cell. This is the paper's single-cell fault model.
+    FAULTY = "faulty"
+
+
+@dataclass
+class Electrode:
+    """The individually addressable control electrode under one cell.
+
+    Voltage limits follow the paper's Section 2: actuation voltages range
+    0-90 V and droplet velocity saturates around 20 cm/s.
+    """
+
+    #: Currently applied control voltage, volts.
+    voltage: float = 0.0
+    #: Maximum voltage the driver can apply, volts.
+    max_voltage: float = 90.0
+    #: Minimum voltage at which electrowetting actuation overcomes
+    #: contact-angle hysteresis, volts (typical threshold for the
+    #: Duke-style chips the paper references).
+    threshold_voltage: float = 12.0
+
+    def activate(self, voltage: float | None = None) -> None:
+        """Energize the electrode (defaults to the maximum drive voltage)."""
+        v = self.max_voltage if voltage is None else voltage
+        if not 0.0 <= v <= self.max_voltage:
+            raise ValueError(f"voltage {v} outside [0, {self.max_voltage}]")
+        self.voltage = v
+
+    def deactivate(self) -> None:
+        """De-energize the electrode."""
+        self.voltage = 0.0
+
+    @property
+    def is_active(self) -> bool:
+        """True if the applied voltage exceeds the actuation threshold."""
+        return self.voltage >= self.threshold_voltage
+
+
+@dataclass
+class Cell:
+    """One unit cell of the microfluidic array."""
+
+    x: int
+    y: int
+    electrode: Electrode = field(default_factory=Electrode)
+    health: CellHealth = CellHealth.HEALTHY
+
+    @property
+    def is_faulty(self) -> bool:
+        """True if the cell has been marked faulty."""
+        return self.health is CellHealth.FAULTY
+
+    def mark_faulty(self) -> None:
+        """Record a permanent cell failure (e.g. electrode degradation)."""
+        self.health = CellHealth.FAULTY
+        self.electrode.deactivate()
+
+    def repair(self) -> None:
+        """Reset the cell to healthy (used by tests and what-if analyses)."""
+        self.health = CellHealth.HEALTHY
+
+    def __str__(self) -> str:
+        flag = "!" if self.is_faulty else ""
+        return f"Cell({self.x},{self.y}){flag}"

@@ -1,0 +1,40 @@
+"""Virtual microfluidic modules.
+
+On a DMFB, a "module" (mixer, storage unit, detector) is not etched
+hardware — it is a group of cells temporarily dedicated to an operation
+("reconfigurable virtual devices", paper Section 2). A module consists
+of a *functional region* of electrodes doing the work, wrapped by a
+one-cell *segregation region* that isolates it from neighboring
+droplets and provides a transport path (paper Section 6).
+
+This package defines module specifications and the standard library of
+mixers and storage units used in the paper's PCR case study (Table 1,
+with mixing times from Paik et al. [18]).
+"""
+
+from repro.modules.kinds import ModuleKind
+from repro.modules.library import (
+    DETECTOR_1X1,
+    MIXER_2X2,
+    MIXER_2X3,
+    MIXER_2X4,
+    MIXER_LINEAR_1X4,
+    STORAGE_1X1,
+    ModuleLibrary,
+    standard_library,
+)
+from repro.modules.module import SEGREGATION_MARGIN, ModuleSpec
+
+__all__ = [
+    "DETECTOR_1X1",
+    "MIXER_2X2",
+    "MIXER_2X3",
+    "MIXER_2X4",
+    "MIXER_LINEAR_1X4",
+    "STORAGE_1X1",
+    "SEGREGATION_MARGIN",
+    "ModuleKind",
+    "ModuleLibrary",
+    "ModuleSpec",
+    "standard_library",
+]

@@ -1,0 +1,28 @@
+"""Classification of virtual module types."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ModuleKind(enum.Enum):
+    """What a virtual module does.
+
+    The paper's case study uses mixers and (implicitly) storage; the
+    other kinds appear in the assay model so that richer protocols
+    (dilution series, multiplexed diagnostics) can be synthesized on the
+    same substrate.
+    """
+
+    #: Merge two droplets and mix by rotating them around pivot electrodes.
+    MIXER = "mixer"
+    #: Mix a sample droplet with buffer to a target concentration.
+    DILUTER = "diluter"
+    #: Park a droplet on a cell until a consumer is ready.
+    STORAGE = "storage"
+    #: Optical/electrochemical readout over one cell.
+    DETECTOR = "detector"
+    #: Boundary reservoir that meters droplets onto the array.
+    DISPENSER = "dispenser"
+    #: Boundary outlet removing droplets from the array.
+    SINK = "sink"

@@ -1,0 +1,156 @@
+"""The standard module library.
+
+Mixer geometries and mixing times follow the paper's Table 1, which in
+turn rounds the measurements of Paik et al., "Rapid droplet mixers for
+digital microfluidic systems" (Lab on a Chip, 2003): larger pivot
+arrays mix faster at the cost of more cells. Storage and detection
+modules follow the conventions of the authors' companion work on
+architectural-level synthesis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.modules.kinds import ModuleKind
+from repro.modules.module import ModuleSpec
+
+#: 2x2 pivot-array mixer: 4x4 cells with segregation, 10 s mix.
+MIXER_2X2 = ModuleSpec(
+    name="mixer-2x2",
+    kind=ModuleKind.MIXER,
+    functional_width=2,
+    functional_height=2,
+    duration_s=10.0,
+    hardware="2x2 electrode array",
+)
+
+#: Four-electrode linear mixer: 3x6 cells, 5 s mix.
+MIXER_LINEAR_1X4 = ModuleSpec(
+    name="mixer-linear-1x4",
+    kind=ModuleKind.MIXER,
+    functional_width=4,
+    functional_height=1,
+    duration_s=5.0,
+    hardware="4-electrode linear array",
+)
+
+#: 2x3 pivot-array mixer: 4x5 cells, 6 s mix.
+MIXER_2X3 = ModuleSpec(
+    name="mixer-2x3",
+    kind=ModuleKind.MIXER,
+    functional_width=3,
+    functional_height=2,
+    duration_s=6.0,
+    hardware="2x3 electrode array",
+)
+
+#: 2x4 pivot-array mixer: 4x6 cells, 3 s mix — fastest, largest.
+MIXER_2X4 = ModuleSpec(
+    name="mixer-2x4",
+    kind=ModuleKind.MIXER,
+    functional_width=4,
+    functional_height=2,
+    duration_s=3.0,
+    hardware="2x4 electrode array",
+)
+
+#: Single-cell droplet store (3x3 cells with its segregation ring).
+STORAGE_1X1 = ModuleSpec(
+    name="storage-1x1",
+    kind=ModuleKind.STORAGE,
+    functional_width=1,
+    functional_height=1,
+    duration_s=1.0,
+    hardware="single-electrode store",
+)
+
+#: Single-cell optical detector (LED/photodiode pair above one cell).
+DETECTOR_1X1 = ModuleSpec(
+    name="detector-1x1",
+    kind=ModuleKind.DETECTOR,
+    functional_width=1,
+    functional_height=1,
+    duration_s=5.0,
+    hardware="LED/photodiode detector",
+)
+
+#: 2x2 diluter: same geometry as the 2x2 mixer, used by dilution assays.
+DILUTER_2X2 = ModuleSpec(
+    name="diluter-2x2",
+    kind=ModuleKind.DILUTER,
+    functional_width=2,
+    functional_height=2,
+    duration_s=12.0,
+    hardware="2x2 electrode array (dilution)",
+)
+
+_STANDARD_SPECS = (
+    MIXER_2X2,
+    MIXER_LINEAR_1X4,
+    MIXER_2X3,
+    MIXER_2X4,
+    STORAGE_1X1,
+    DETECTOR_1X1,
+    DILUTER_2X2,
+)
+
+
+class ModuleLibrary:
+    """A named collection of :class:`ModuleSpec` entries.
+
+    The binder queries the library by name or by kind; placement and
+    fault tolerance only ever see the specs it hands out.
+    """
+
+    def __init__(self, specs: Iterable[ModuleSpec] = ()) -> None:
+        self._specs: dict[str, ModuleSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: ModuleSpec) -> None:
+        """Register a spec; names must be unique."""
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate module spec name {spec.name!r}")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> ModuleSpec:
+        """Look up a spec by name; raises ``KeyError`` with candidates listed."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<empty>"
+            raise KeyError(f"no module spec named {name!r}; known: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ModuleSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def by_kind(self, kind: ModuleKind) -> list[ModuleSpec]:
+        """All specs of the given kind, fastest first."""
+        specs = [s for s in self._specs.values() if s.kind is kind]
+        return sorted(specs, key=lambda s: (s.duration_s, s.footprint_area, s.name))
+
+    def fastest(self, kind: ModuleKind) -> ModuleSpec:
+        """The minimum-duration spec of *kind*."""
+        specs = self.by_kind(kind)
+        if not specs:
+            raise KeyError(f"library has no spec of kind {kind.value}")
+        return specs[0]
+
+    def smallest(self, kind: ModuleKind) -> ModuleSpec:
+        """The minimum-footprint spec of *kind*."""
+        specs = [s for s in self._specs.values() if s.kind is kind]
+        if not specs:
+            raise KeyError(f"library has no spec of kind {kind.value}")
+        return min(specs, key=lambda s: (s.footprint_area, s.duration_s, s.name))
+
+
+def standard_library() -> ModuleLibrary:
+    """Return a fresh library with the paper's standard modules."""
+    return ModuleLibrary(_STANDARD_SPECS)

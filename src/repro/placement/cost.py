@@ -1,0 +1,123 @@
+"""Cost metrics for the placement annealer (paper Sections 4(e), 6.2).
+
+Stage 1 (fault-oblivious) minimizes bounding-array area plus an overlap
+penalty — the paper's direct-coordinate annealer explores infeasible
+placements and relies on the penalty to drive overlaps to zero.
+
+Stage 2 (fault-aware, LTSA) adds the fault-tolerance term: the paper
+weighs area against the "fault-tolerance number" with designer knob
+beta, ``cost = alpha * area - beta * ft``. We use the *normalized* FTI
+for the ft term (scaled by a calibration constant GAMMA) so that
+growing the array with idle-but-covered cells is not a free lunch; see
+DESIGN.md for the calibration argument that puts the paper's knob range
+beta in [10, 60] across the area/FTI knee.
+"""
+
+from __future__ import annotations
+
+from repro.fault.fti import FTIReport, compute_fti
+from repro.placement.model import Placement
+
+#: Calibration constant mapping normalized FTI into mm^2-comparable
+#: units so that beta in [10, 60] spans the area/fault-tolerance knee.
+DEFAULT_FT_GAMMA = 2.0
+
+#: Penalty weight per overlapping cell-second. Large enough that any
+#: overlap dominates plausible area savings once the annealer cools.
+DEFAULT_OVERLAP_WEIGHT = 25.0
+
+#: Weight of the corner-pull tiebreaker (see AreaCost). Small enough
+#: that it never trades against a whole array cell (2.25 mm^2).
+DEFAULT_PULL_WEIGHT = 0.05
+
+
+class AreaCost:
+    """``alpha * area_mm2 + overlap_weight * overlap_volume`` (+ pull).
+
+    The bounding-box area is *flat* with respect to interior modules —
+    moving a module strictly inside the bbox changes nothing — which
+    starves the annealer of gradient. The optional corner-pull term,
+    ``pull_weight * sum(x2 + y2 over modules)``, gives every module a
+    gentle drift toward the origin so compactions keep happening between
+    the rare bbox-shrinking events. It is a tiebreaker, not an
+    objective: its full range is well below one cell of area. Setting
+    ``pull_weight=0`` recovers the paper's literal cost (ablation A-pull
+    in the benchmarks quantifies the effect).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        overlap_weight: float = DEFAULT_OVERLAP_WEIGHT,
+        pull_weight: float = DEFAULT_PULL_WEIGHT,
+    ) -> None:
+        if overlap_weight <= 0:
+            raise ValueError(
+                f"overlap_weight must be positive (it keeps the annealer "
+                f"honest), got {overlap_weight}"
+            )
+        if pull_weight < 0:
+            raise ValueError(f"pull_weight must be >= 0, got {pull_weight}")
+        self.alpha = alpha
+        self.overlap_weight = overlap_weight
+        self.pull_weight = pull_weight
+
+    def __call__(self, placement: Placement) -> float:
+        cost = (
+            self.alpha * placement.area_mm2
+            + self.overlap_weight * placement.overlap_volume()
+        )
+        if self.pull_weight:
+            cost += self.pull_weight * sum(
+                pm.footprint.x2 + pm.footprint.y2 for pm in placement
+            )
+        return cost
+
+    def area_term(self, placement: Placement) -> float:
+        """The pure area component (reported by experiment harnesses)."""
+        return self.alpha * placement.area_mm2
+
+
+class FaultAwareCost(AreaCost):
+    """Stage-2 metric: ``alpha * area - beta * GAMMA * FTI`` (+ penalty).
+
+    The FTI bonus is only granted to *feasible* placements — an
+    overlapping configuration has no physical meaning, so rewarding its
+    "coverage" would mislead the annealer.
+    """
+
+    def __init__(
+        self,
+        beta: float,
+        alpha: float = 1.0,
+        ft_gamma: float = DEFAULT_FT_GAMMA,
+        overlap_weight: float = DEFAULT_OVERLAP_WEIGHT,
+        pull_weight: float = DEFAULT_PULL_WEIGHT,
+        fti_method: str = "placements",
+        allow_rotation: bool = True,
+    ) -> None:
+        super().__init__(
+            alpha=alpha, overlap_weight=overlap_weight, pull_weight=pull_weight
+        )
+        if beta < 0:
+            raise ValueError(f"beta must be >= 0, got {beta}")
+        self.beta = beta
+        self.ft_gamma = ft_gamma
+        self.fti_method = fti_method
+        self.allow_rotation = allow_rotation
+
+    def fti_report(self, placement: Placement) -> FTIReport:
+        """The FTI analysis this cost sees for *placement*."""
+        return compute_fti(
+            placement,
+            allow_rotation=self.allow_rotation,
+            method=self.fti_method,
+        )
+
+    def __call__(self, placement: Placement) -> float:
+        base = super().__call__(placement)
+        overlap = placement.overlap_volume()
+        if overlap > 0:
+            return base
+        report = self.fti_report(placement)
+        return base - self.beta * self.ft_gamma * report.fti

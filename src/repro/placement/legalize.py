@@ -1,0 +1,92 @@
+"""Bottom-left scanning and overlap repair.
+
+Shared machinery for the constructive initial placement (paper Figure
+4(a)), the greedy baseline (paper Section 6.1), and the final
+legalization safety net of the SA placers: the annealer *should* drive
+the overlap penalty to zero, but a stochastic run has no guarantee, so
+placers repair any residual overlap deterministically before reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.placement.model import PlacedModule, Placement
+from repro.util.errors import PlacementError
+
+
+def first_feasible_position(
+    obstacles: Iterable[PlacedModule],
+    pm: PlacedModule,
+    core_width: int,
+    core_height: int,
+    allow_rotation: bool = False,
+) -> PlacedModule | None:
+    """First bottom-left position where *pm* conflicts with nothing.
+
+    Scans origins row by row from (1, 1) — the classic bottom-left
+    packing rule — trying the native orientation first and, when
+    *allow_rotation*, the transposed one at each origin. Only obstacles
+    whose time spans overlap *pm*'s matter. Returns the repositioned
+    module, or ``None`` when no in-core position works.
+    """
+    relevant = [
+        o
+        for o in obstacles
+        if o.op_id != pm.op_id and o.interval.overlaps(pm.interval)
+    ]
+    orientations = [pm.rotated]
+    if allow_rotation and not pm.spec.is_square:
+        orientations.append(not pm.rotated)
+    for y in range(1, core_height + 1):
+        for x in range(1, core_width + 1):
+            for rotated in orientations:
+                w, h = pm.spec.dims(rotated)
+                if x + w - 1 > core_width or y + h - 1 > core_height:
+                    continue
+                candidate = pm.moved_to(x, y, rotated=rotated)
+                fp = candidate.footprint
+                if all(not fp.intersects(o.footprint) for o in relevant):
+                    return candidate
+    return None
+
+
+def repair_overlaps(
+    placement: Placement, allow_rotation: bool = True, max_passes: int = 4
+) -> Placement:
+    """Legalize *placement* by re-seating conflicting modules bottom-left.
+
+    Repeatedly picks a module involved in a conflict (smallest footprint
+    first — cheapest to move) and re-seats it at the first feasible
+    bottom-left position. Raises :class:`PlacementError` if the core
+    area cannot host a feasible configuration within *max_passes*
+    sweeps.
+    """
+    current = placement.copy()
+    for _ in range(max_passes):
+        pairs = current.conflicting_pairs()
+        if not pairs:
+            return current
+        movers: dict[str, PlacedModule] = {}
+        for a, b in pairs:
+            loser = min((a, b), key=lambda pm: (pm.footprint.area, pm.op_id))
+            movers[loser.op_id] = loser
+        for pm in sorted(movers.values(), key=lambda m: (m.footprint.area, m.op_id)):
+            seated = first_feasible_position(
+                current.modules(),
+                pm,
+                current.core_width,
+                current.core_height,
+                allow_rotation=allow_rotation,
+            )
+            if seated is None:
+                raise PlacementError(
+                    f"cannot legalize: no feasible position for {pm.op_id} in "
+                    f"{current.core_width}x{current.core_height} core"
+                )
+            current.replace(seated)
+    if current.conflicting_pairs():
+        raise PlacementError(
+            f"legalization did not converge within {max_passes} passes"
+        )
+    return current

@@ -1,0 +1,126 @@
+"""The annealer's generation functions (paper Section 4(b)).
+
+New placements are generated four ways:
+
+(i)   a randomly selected module is displaced to a random location;
+(ii)  a module is displaced *and* its orientation is changed;
+(iii) a random pair of modules is interchanged;
+(iv)  a pair is interchanged with at least one orientation change.
+
+Single-module moves (i/ii) are drawn with probability ``p`` and pair
+moves (iii/iv) with ``1 - p``; the effective ratio is experimentally
+determined (paper), defaulting to 0.8 here. Displacements respect the
+controlling window and all moves keep footprints inside the core area.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.placement.model import PlacedModule, Placement
+from repro.placement.window import ControllingWindow
+from repro.util.rng import ensure_rng
+
+
+def _clamp(v: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, v))
+
+
+class MoveGenerator:
+    """Proposes neighbor placements for the annealer."""
+
+    def __init__(
+        self,
+        window: ControllingWindow,
+        p_single: float = 0.8,
+        p_rotate: float = 0.5,
+        single_only: bool = False,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= p_single <= 1.0:
+            raise ValueError(f"p_single must be in [0, 1], got {p_single}")
+        if not 0.0 <= p_rotate <= 1.0:
+            raise ValueError(f"p_rotate must be in [0, 1], got {p_rotate}")
+        self.window = window
+        self.p_single = p_single
+        self.p_rotate = p_rotate
+        #: LTSA mode (paper Section 6.1): pair interchanges disabled.
+        self.single_only = single_only
+        self._rng = ensure_rng(seed)
+
+    # -- public API -----------------------------------------------------------------
+
+    def propose(self, placement: Placement, temperature: float) -> Placement:
+        """Return a new placement one move away from *placement*."""
+        if len(placement) == 0:
+            raise ValueError("cannot propose moves on an empty placement")
+        new_p = placement.copy()
+        use_single = (
+            self.single_only
+            or len(placement) < 2
+            or self._rng.random() < self.p_single
+        )
+        if use_single:
+            self._displace(new_p, temperature)
+        else:
+            self._interchange(new_p)
+        return new_p
+
+    # -- move implementations -----------------------------------------------------------
+
+    def _fits(self, placement: Placement, pm: PlacedModule, rotated: bool) -> bool:
+        w, h = pm.spec.dims(rotated)
+        return w <= placement.core_width and h <= placement.core_height
+
+    def _random_origin_near(
+        self, placement: Placement, pm: PlacedModule, rotated: bool, span: int
+    ) -> tuple[int, int]:
+        """Uniform origin within the controlling window, clamped to core."""
+        w, h = pm.spec.dims(rotated)
+        max_x = placement.core_width - w + 1
+        max_y = placement.core_height - h + 1
+        nx = _clamp(pm.x + self._rng.randint(-span, span), 1, max_x)
+        ny = _clamp(pm.y + self._rng.randint(-span, span), 1, max_y)
+        return nx, ny
+
+    def _displace(self, placement: Placement, temperature: float) -> None:
+        """Move types (i) and (ii)."""
+        pm = self._rng.choice(placement.modules())
+        rotated = pm.rotated
+        if (
+            not pm.spec.is_square
+            and self._rng.random() < self.p_rotate
+            and self._fits(placement, pm, not rotated)
+        ):
+            rotated = not rotated  # type (ii)
+        span = self.window.span(temperature)
+        nx, ny = self._random_origin_near(placement, pm, rotated, span)
+        placement.replace(pm.moved_to(nx, ny, rotated=rotated))
+
+    def _interchange(self, placement: Placement) -> None:
+        """Move types (iii) and (iv): swap two modules' origins."""
+        a, b = self._rng.sample(placement.modules(), 2)
+        rot_a, rot_b = a.rotated, b.rotated
+        if self._rng.random() < self.p_rotate:
+            # Type (iv): at least one of the pair changes orientation.
+            flip_a = self._rng.random() < 0.5
+            target = a if flip_a else b
+            if not target.spec.is_square and self._fits(placement, target, not target.rotated):
+                if flip_a:
+                    rot_a = not rot_a
+                else:
+                    rot_b = not rot_b
+        # Swap origins; clamp each so the (possibly rotated) footprint
+        # stays inside the core area.
+        new_a = self._place_at(placement, a, b.x, b.y, rot_a)
+        new_b = self._place_at(placement, b, a.x, a.y, rot_b)
+        placement.replace(new_a)
+        placement.replace(new_b)
+
+    def _place_at(
+        self, placement: Placement, pm: PlacedModule, x: int, y: int, rotated: bool
+    ) -> PlacedModule:
+        w, h = pm.spec.dims(rotated)
+        nx = _clamp(x, 1, placement.core_width - w + 1)
+        ny = _clamp(y, 1, placement.core_height - h + 1)
+        return pm.moved_to(nx, ny, rotated=rotated)

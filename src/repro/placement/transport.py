@@ -1,0 +1,79 @@
+"""Transport-aware placement cost (extension).
+
+The paper's placer optimizes area and fault tolerance; its successors
+(routing-aware placement) also penalize the droplet transport the
+placement induces — products must physically travel from producer
+modules to consumer modules, and long hauls cost assay time and raise
+cross-contamination risk. This cost extends :class:`AreaCost` with
+exactly that term:
+
+``cost = AreaCost + transport_weight * sum over dependency edges of
+Manhattan distance between the producer's and consumer's functional
+centers``
+
+The dependency edges come from the sequencing graph, so the cost is
+constructed *per assay*. The A-transport ablation benchmark quantifies
+the area/transport trade on PCR.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.placement.cost import (
+    DEFAULT_OVERLAP_WEIGHT,
+    DEFAULT_PULL_WEIGHT,
+    AreaCost,
+)
+
+if TYPE_CHECKING:
+    from repro.assay.graph import SequencingGraph
+    from repro.placement.model import Placement
+
+#: Default weight per cell of producer->consumer distance, in mm^2
+#: equivalents. At 0.15, shaving ~15 cells of total transport is worth
+#: one array cell of area — mild, so area still dominates.
+DEFAULT_TRANSPORT_WEIGHT = 0.15
+
+
+class TransportAwareCost(AreaCost):
+    """Area + overlap + droplet-transport distance."""
+
+    def __init__(
+        self,
+        graph: "SequencingGraph",
+        transport_weight: float = DEFAULT_TRANSPORT_WEIGHT,
+        alpha: float = 1.0,
+        overlap_weight: float = DEFAULT_OVERLAP_WEIGHT,
+        pull_weight: float = DEFAULT_PULL_WEIGHT,
+    ) -> None:
+        super().__init__(
+            alpha=alpha, overlap_weight=overlap_weight, pull_weight=pull_weight
+        )
+        if transport_weight < 0:
+            raise ValueError(
+                f"transport_weight must be >= 0, got {transport_weight}"
+            )
+        self.transport_weight = transport_weight
+        #: Dependency edges between *placed* operations only — dispense
+        #: and output happen at boundary ports, which the placer does
+        #: not position.
+        self._edges = tuple(graph.edges())
+
+    def transport_distance(self, placement: "Placement") -> int:
+        """Total Manhattan producer->consumer distance over the edges
+        whose endpoints are both placed."""
+        total = 0
+        for producer, consumer in self._edges:
+            if producer not in placement or consumer not in placement:
+                continue
+            a = placement.get(producer).functional_region.center
+            b = placement.get(consumer).functional_region.center
+            total += a.manhattan_distance(b)
+        return total
+
+    def __call__(self, placement: "Placement") -> float:
+        return (
+            super().__call__(placement)
+            + self.transport_weight * self.transport_distance(placement)
+        )

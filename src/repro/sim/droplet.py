@@ -1,0 +1,66 @@
+"""Droplet state for the simulator.
+
+A droplet is a nanoliter-scale liquid plug identified by what it
+contains: a mixture of reagent volumes. Merging two droplets (the mix
+operation's first phase) adds volumes; the mixer module's job is then
+to homogenize the merged plug, which the simulator models as a timed
+operation rather than fluid dynamics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.geometry import Point
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Droplet:
+    """One droplet on (or headed to) the array."""
+
+    #: Current cell; None while still in a reservoir.
+    position: Point | None
+    #: Reagent name -> volume in nanoliters.
+    contents: dict[str, float] = field(default_factory=dict)
+    #: Unique identifier, assigned at creation.
+    droplet_id: int = field(default_factory=lambda: next(_ids))
+    #: The operation that produced this droplet (for traceability).
+    produced_by: str | None = None
+
+    @property
+    def volume_nl(self) -> float:
+        """Total volume in nanoliters."""
+        return sum(self.contents.values())
+
+    @property
+    def reagents(self) -> frozenset[str]:
+        """Names of the reagents present."""
+        return frozenset(self.contents)
+
+    def merged_with(self, other: "Droplet", produced_by: str | None = None) -> "Droplet":
+        """Combine with *other* into a new droplet at this position.
+
+        Volumes add reagent-wise; the result carries a fresh id — the
+        physical droplets cease to exist as separate entities.
+        """
+        contents = dict(self.contents)
+        for reagent, vol in other.contents.items():
+            contents[reagent] = contents.get(reagent, 0.0) + vol
+        return Droplet(
+            position=self.position, contents=contents, produced_by=produced_by
+        )
+
+    def concentration(self, reagent: str) -> float:
+        """Volume fraction of *reagent* (0 when absent or empty)."""
+        total = self.volume_nl
+        if total == 0:
+            return 0.0
+        return self.contents.get(reagent, 0.0) / total
+
+    def __str__(self) -> str:
+        where = str(self.position) if self.position else "reservoir"
+        mix = "+".join(sorted(self.contents)) or "empty"
+        return f"Droplet#{self.droplet_id}({mix}, {self.volume_nl:g} nl @ {where})"

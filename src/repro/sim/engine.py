@@ -1,0 +1,642 @@
+"""Discrete-event execution of a placed, scheduled bioassay.
+
+The engine replays an assay on a simulated electrowetting array:
+
+1. A *realized timeline* is derived from the nominal schedule. Without
+   faults it equals the schedule; a fault injected mid-run triggers the
+   detect -> partially-reconfigure -> restart loop on the affected
+   module, and the delay propagates to data-dependent successors.
+2. A *droplet replay* then executes operations in realized order:
+   reagent droplets are dispensed at boundary ports, routed (A*, with
+   fluidic constraints, around operating modules and faulty cells) to
+   their module's functional region, merged, held for the operation
+   time, and the product forwarded — ending with the assay product
+   leaving through the output port.
+
+The replay *verifies* the configuration: an infeasible placement, an
+unroutable transport, or a failed relocation all surface as
+:class:`~repro.util.errors.SimulationError` (or a failed report when
+``strict=False``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.operations import OperationType
+from repro.fault.reconfigure import PartialReconfigurer, Relocation
+from repro.geometry import Point
+from repro.grid.array import MicrofluidicArray, Port
+from repro.placement.model import PlacedModule, Placement
+from repro.sim.droplet import Droplet
+from repro.sim.electrowetting import ElectrowettingModel
+from repro.sim.router import DropletRouter
+from repro.util.errors import (
+    ReconfigurationError,
+    RoutingError,
+    SimulationError,
+)
+
+#: Default dispensed droplet volume, nanoliters (order of the reference
+#: chips' unit droplet at 1.5 mm pitch / 600 um gap).
+UNIT_DROPLET_NL = 900.0
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One timestamped entry of the simulation log."""
+
+    time: float
+    kind: str  # dispense | transport | op-start | op-finish | fault | relocation | output
+    detail: str
+    op_id: str | None = None
+
+    def __str__(self) -> str:
+        tag = f" [{self.op_id}]" if self.op_id else ""
+        return f"t={self.time:7.2f}s {self.kind:<11}{tag} {self.detail}"
+
+
+@dataclass
+class SimulationReport:
+    """Everything the engine observed during one run."""
+
+    completed: bool
+    events: list[SimEvent]
+    realized_finish: dict[str, float]
+    relocations: list[Relocation]
+    nominal_makespan: float
+    realized_makespan: float
+    total_transport_cells: int
+    product: Droplet | None
+    final_placement: Placement
+    failure_reason: str | None = None
+
+    @property
+    def delay_s(self) -> float:
+        """Extra completion time caused by faults/recovery."""
+        return self.realized_makespan - self.nominal_makespan
+
+    def events_of_kind(self, kind: str) -> list[SimEvent]:
+        """Log entries of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self) -> str:
+        """Short human-readable account of the run."""
+        status = "completed" if self.completed else f"FAILED ({self.failure_reason})"
+        lines = [
+            f"simulation {status}",
+            f"nominal makespan {self.nominal_makespan:g} s, realized "
+            f"{self.realized_makespan:g} s (delay {self.delay_s:g} s)",
+            f"droplet transport: {self.total_transport_cells} cell-moves",
+            f"relocations: {len(self.relocations)}",
+        ]
+        if self.product is not None:
+            lines.append(f"product: {self.product}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _OpState:
+    """Internal per-operation bookkeeping."""
+
+    op_id: str
+    module: PlacedModule | None  # None for dispense/output
+    start: float
+    finish: float
+    restarted: bool = False
+
+
+class BiochipSimulator:
+    """Executes one synthesized assay on a simulated array."""
+
+    def __init__(
+        self,
+        graph: SequencingGraph,
+        schedule,
+        binding,
+        placement: Placement,
+        margin: int = 2,
+        electrowetting: ElectrowettingModel | None = None,
+        reconfigurer: PartialReconfigurer | None = None,
+        drive_voltage: float = 65.0,
+        strict: bool = True,
+    ) -> None:
+        if margin < 1:
+            raise ValueError(f"margin must be >= 1 (droplets need route lanes), got {margin}")
+        self.graph = graph
+        self.schedule = schedule
+        self.binding = binding
+        self.ew = electrowetting if electrowetting is not None else ElectrowettingModel()
+        self.reconfigurer = (
+            reconfigurer if reconfigurer is not None else PartialReconfigurer()
+        )
+        self.drive_voltage = drive_voltage
+        self.strict = strict
+
+        normalized = placement.normalized()
+        w, h = normalized.array_dims()
+        self.width = w + 2 * margin
+        self.height = h + 2 * margin
+        self.placement = Placement(self.width, self.height, pitch_mm=normalized.pitch_mm)
+        for pm in normalized:
+            self.placement.add(pm.moved_to(pm.x + margin, pm.y + margin))
+        self.placement.validate()
+        self.array = MicrofluidicArray(self.width, self.height)
+        self._install_ports()
+        self.router = DropletRouter(self.width, self.height)
+
+    # -- setup -----------------------------------------------------------------------
+
+    def _install_ports(self) -> None:
+        """Reservoirs along the left edge, waste/output on the right."""
+        ys = range(1, self.height + 1, 2)
+        for i, y in enumerate(ys):
+            self.array.add_port(Port(name=f"res{i}", location=Point(1, y), kind="dispense"))
+        self.array.add_port(
+            Port(name="out", location=Point(self.width, max(1, self.height // 2)), kind="waste")
+        )
+        self._dispense_cycle = [self.array.port(f"res{i}").location for i in range(len(list(ys)))]
+        self._next_port = 0
+
+    def _next_dispense_cell(self) -> Point:
+        cell = self._dispense_cycle[self._next_port % len(self._dispense_cycle)]
+        self._next_port += 1
+        return cell
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(self, faults: Iterable[tuple[float, Point | tuple[int, int]]] = ()) -> SimulationReport:
+        """Execute the assay, injecting each ``(time, cell)`` fault.
+
+        Fault cells are given in the *simulator's* coordinates (the
+        placement shifted by ``margin``); use
+        :meth:`module_cell` to aim at a particular module.
+        """
+        events: list[SimEvent] = []
+        relocations: list[Relocation] = []
+        fault_list = sorted(
+            ((float(t), Point(*c)) for t, c in faults), key=lambda fc: fc[0]
+        )
+
+        try:
+            states = self._realize_timeline(fault_list, events, relocations)
+            product, transport = self._replay_droplets(states, fault_list, events)
+        except (RoutingError, ReconfigurationError, SimulationError) as exc:
+            if self.strict:
+                raise SimulationError(str(exc)) from exc
+            return SimulationReport(
+                completed=False,
+                events=events,
+                realized_finish={},
+                relocations=relocations,
+                nominal_makespan=self.schedule.makespan,
+                realized_makespan=self.schedule.makespan,
+                total_transport_cells=0,
+                product=None,
+                final_placement=self.placement,
+                failure_reason=str(exc),
+            )
+
+        realized_finish = {s.op_id: s.finish for s in states.values()}
+        return SimulationReport(
+            completed=True,
+            events=sorted(events, key=lambda e: (e.time, e.kind)),
+            realized_finish=realized_finish,
+            relocations=relocations,
+            nominal_makespan=self.schedule.makespan,
+            realized_makespan=max(realized_finish.values(), default=0.0),
+            total_transport_cells=transport,
+            product=product,
+            final_placement=self.placement,
+        )
+
+    def module_cell(self, op_id: str) -> Point:
+        """A functional-region cell of *op_id*'s module (fault targeting)."""
+        pm = self.placement.get(op_id)
+        return next(iter(pm.functional_region.cells()))
+
+    # -- phase 1: realized timeline ----------------------------------------------------
+
+    def _realize_timeline(
+        self,
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+        relocations: list[Relocation],
+    ) -> dict[str, _OpState]:
+        """Derive realized op intervals under faults + reconfiguration."""
+        states: dict[str, _OpState] = {}
+        for op in self.graph:
+            if op.id not in self.schedule:
+                continue
+            iv = self.schedule.interval(op.id)
+            module = self.placement.get(op.id) if op.id in self.placement else None
+            states[op.id] = _OpState(op.id, module, iv.start, iv.stop)
+
+        for fault_time, cell in faults:
+            events.append(
+                SimEvent(fault_time, "fault", f"cell {cell} failed", None)
+            )
+            self.array.mark_faulty(cell)
+            # Only modules still running or yet to run can be rescued;
+            # completed operations already consumed their cells.
+            pending = [
+                s for s in states.values()
+                if s.module is not None
+                and s.finish > fault_time
+                and s.module.footprint.contains_point(cell)
+            ]
+            pending_ids = {s.op_id for s in pending}
+            for state in sorted(pending, key=lambda s: s.start):
+                try:
+                    new_placement, plan = self.reconfigurer.apply(
+                        self.placement,
+                        cell,
+                        extra_faults=[
+                            f for t, f in faults if t <= fault_time and f != cell
+                        ],
+                        only_ops=pending_ids,
+                    )
+                except ReconfigurationError:
+                    raise SimulationError(
+                        f"fault at {cell} (t={fault_time:g}) is unrecoverable for "
+                        f"operation {state.op_id}"
+                    ) from None
+                self.placement = new_placement
+                for reloc in plan.relocations:
+                    relocations.append(reloc)
+                    # Refresh every affected state's module reference.
+                    if reloc.op_id in states:
+                        states[reloc.op_id].module = reloc.new
+                    migrate = self.ew.transport_time_s(
+                        reloc.distance, self.drive_voltage
+                    )
+                    events.append(
+                        SimEvent(
+                            fault_time,
+                            "relocation",
+                            f"{reloc} (migration {migrate:.3f} s)",
+                            reloc.op_id,
+                        )
+                    )
+                    moved = states.get(reloc.op_id)
+                    if moved is not None and moved.start <= fault_time < moved.finish:
+                        # Running op: droplets migrate, the mix restarts.
+                        duration = moved.finish - moved.start
+                        moved.start = moved.start  # dispatch time unchanged
+                        moved.finish = fault_time + migrate + duration
+                        moved.restarted = True
+            # Propagate delays along dependencies.
+            self._propagate(states)
+        return states
+
+    def _propagate(self, states: dict[str, _OpState]) -> None:
+        for op_id in self.graph.topological_order():
+            if op_id not in states:
+                continue
+            state = states[op_id]
+            ready = max(
+                (states[p].finish for p in self.graph.predecessors(op_id) if p in states),
+                default=0.0,
+            )
+            new_start = max(self.schedule.start(op_id), ready)
+            if new_start > state.start and not state.restarted:
+                duration = state.finish - state.start
+                state.start = new_start
+                state.finish = new_start + duration
+
+    # -- phase 2: droplet replay ---------------------------------------------------------
+
+    def _replay_droplets(
+        self,
+        states: dict[str, _OpState],
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+    ) -> tuple[Droplet | None, int]:
+        droplet_of: dict[str, Droplet] = {}
+        self._shares_taken: dict[str, int] = {}
+        self._reservoir_queue: set[str] = set()
+        # Obstacle queries during replay must use *realized* intervals:
+        # a fault-induced restart shifts downstream ops, and a module
+        # whose nominal window covers t may not actually be running.
+        self._states = states
+        transport_cells = 0
+        product: Droplet | None = None
+
+        for op_id in sorted(states, key=lambda o: (states[o].start, o)):
+            op = self.graph.operation(op_id)
+            state = states[op_id]
+            t = state.start
+            faulty_now = [c for ft, c in faults if ft <= t]
+            parked = [
+                d.position
+                for d in droplet_of.values()
+                if d.position is not None
+            ]
+
+            if op.type is OperationType.DISPENSE:
+                # Lazy dispensing: the reservoir meters the droplet when
+                # its consumer collects it — parking droplets at ports
+                # for seconds would wall off the boundary lanes.
+                reagent = op.params.get("reagent", op.id)
+                droplet_of[op_id] = Droplet(
+                    position=None,
+                    contents={reagent: UNIT_DROPLET_NL},
+                    produced_by=op_id,
+                )
+                self._reservoir_queue.add(op_id)
+                events.append(SimEvent(t, "dispense", f"{reagent} metered", op_id))
+                continue
+
+            if op.type is OperationType.OUTPUT:
+                inputs = self._input_droplets(op_id, droplet_of)
+                if len(inputs) != 1:
+                    raise SimulationError(
+                        f"output {op_id} expects exactly one droplet, got {len(inputs)}"
+                    )
+                droplet = inputs[0]
+                others = [p for p in parked if p != droplet.position]
+                out = self.array.port("out").location
+                transport_cells += self._transport(
+                    droplet, out, t, faulty_now, others, events, op_id
+                )
+                events.append(SimEvent(state.finish, "output", f"{droplet}", op_id))
+                droplet.position = None
+                product = droplet
+                droplet_of[op_id] = droplet
+                continue
+
+            # Reconfigurable operation on a placed module.
+            module = state.module
+            if module is None:
+                raise SimulationError(f"operation {op_id} has no placed module")
+            self._check_module_health(module, faulty_now, op_id)
+            inputs = self._input_droplets(op_id, droplet_of)
+            inputs.extend(self._auto_dispense(op, len(inputs), t, events))
+            input_positions = {d.position for d in inputs}
+            others = [p for p in parked if p not in input_positions]
+            targets = list(module.functional_region.cells())
+            for i, droplet in enumerate(inputs):
+                goal = targets[min(i, len(targets) - 1)]
+                transport_cells += self._transport(
+                    droplet, goal, t, faulty_now, others, events, op_id
+                )
+            if not inputs:
+                raise SimulationError(f"operation {op_id} received no droplets")
+            merged = inputs[0]
+            for droplet in inputs[1:]:
+                merged = merged.merged_with(droplet, op_id)
+            for droplet in inputs:
+                droplet.position = None  # absorbed into the merged product
+            merged.position = module.functional_region.center
+            merged.produced_by = op_id
+            events.append(
+                SimEvent(t, "op-start", f"{op.type.value} on {module.footprint}", op_id)
+            )
+            events.append(SimEvent(state.finish, "op-finish", f"-> {merged}", op_id))
+            droplet_of[op_id] = merged
+            # Dynamic reconfigurability means another module may reuse
+            # these cells before the consumer collects the product; park
+            # it on a cell that stays free until then.
+            transport_cells += self._park_product(
+                op_id, merged, state, states, faults, droplet_of, events
+            )
+
+        if product is None:
+            # Mixing-only graphs end at the sink mix; its droplet is the product.
+            sinks = [s for s in self.graph.sinks() if s in droplet_of]
+            product = droplet_of[sinks[0]] if sinks else None
+        return product, transport_cells
+
+    def _park_product(
+        self,
+        op_id: str,
+        droplet: Droplet,
+        state: _OpState,
+        states: dict[str, _OpState],
+        faults: list[tuple[float, Point]],
+        droplet_of: dict[str, Droplet],
+        events: list[SimEvent],
+    ) -> int:
+        """Move a finished product to a cell no module will claim before
+        its consumer starts. Returns transport cells used (0 if the
+        product can stay where it is)."""
+        finish = state.finish
+        consumers = set(self.graph.successors(op_id))
+        hold_until = max(
+            (states[s].start for s in consumers if s in states),
+            default=finish,
+        )
+        faulty = [c for ft, c in faults if ft <= finish]
+        parked = {
+            d.position
+            for o, d in droplet_of.items()
+            if o != op_id and d.position is not None
+        }
+
+        def safe(cell: Point) -> bool:
+            if cell in parked or cell in faulty:
+                return False
+            if not (1 <= cell.x <= self.width and 1 <= cell.y <= self.height):
+                return False
+            for s in states.values():
+                if s.module is None:
+                    continue
+                # A sole consumer's site is a fine waiting spot — the
+                # droplet is routed into that module at its start. With
+                # fan-out, shares for the *other* consumers would be
+                # trapped inside, so a neutral cell is required.
+                if s.op_id == op_id or (
+                    len(consumers) == 1 and s.op_id in consumers
+                ):
+                    continue
+                covers_window = (
+                    s.start < max(hold_until, finish + 1e-9) and s.finish > finish
+                )
+                if covers_window and s.module.footprint.contains_point(cell):
+                    return False
+            return True
+
+        assert droplet.position is not None
+        if safe(droplet.position):
+            return 0
+        # BFS ring search for the nearest safe parking cell.
+        goal = self._nearest_safe_cell(droplet.position, safe)
+        if goal is None:
+            raise SimulationError(
+                f"no safe parking cell for {op_id}'s product at t={finish:g}"
+            )
+        # Evacuate during the handover instant: obstacles are the modules
+        # still running just before `finish`, not the ones taking over.
+        return self._transport(
+            droplet,
+            goal,
+            finish,
+            faulty,
+            sorted(parked),
+            events,
+            op_id,
+            obstacle_time=finish - 1e-9,
+        )
+
+    def _nearest_safe_cell(self, start: Point, safe) -> Point | None:
+        from collections import deque
+
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            cell = queue.popleft()
+            if cell != start and safe(cell):
+                return cell
+            for nxt in cell.neighbors4():
+                if (
+                    1 <= nxt.x <= self.width
+                    and 1 <= nxt.y <= self.height
+                    and nxt not in seen
+                ):
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return None
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _input_droplets(self, op_id: str, droplet_of: dict[str, Droplet]) -> list[Droplet]:
+        """Collect (and, on fan-out, split) the producers' droplets.
+
+        A product consumed by k operations is split into k equal shares;
+        the share leaves the parking cell when its consumer collects it,
+        and the parking cell frees up once the last share is gone.
+        """
+        out = []
+        for pred in self.graph.predecessors(op_id):
+            if pred not in droplet_of:
+                continue
+            source = droplet_of[pred]
+            if source.position is None and pred in self._reservoir_queue:
+                source.position = self._next_dispense_cell()
+                self._reservoir_queue.discard(pred)
+            consumers = [s for s in self.graph.successors(pred) if s in self.schedule]
+            if len(consumers) <= 1:
+                out.append(source)
+                continue
+            if source.position is None:
+                raise SimulationError(
+                    f"product of {pred} was exhausted before {op_id} collected its share"
+                )
+            k = len(consumers)
+            share = Droplet(
+                position=source.position,
+                contents={r: v / k for r, v in source.contents.items()},
+                produced_by=pred,
+            )
+            taken = self._shares_taken.get(pred, 0) + 1
+            self._shares_taken[pred] = taken
+            if taken >= k:
+                source.position = None  # last share collected; cell is free
+            out.append(share)
+        return out
+
+    def _auto_dispense(self, op, have: int, t: float, events: list[SimEvent]) -> list[Droplet]:
+        """Leaf operations of module-only graphs (e.g. the paper's PCR
+        mixing tree) have implicit reagent inputs; dispense them."""
+        need = 2 if op.type in (OperationType.MIX, OperationType.DILUTE) else 1
+        missing = max(0, need - have)
+        reagents = list(op.params.get("reagents", ()))
+        out = []
+        for k in range(missing):
+            cell = self._next_dispense_cell()
+            name = reagents[k] if k < len(reagents) else f"{op.id}-in{k + 1}"
+            droplet = Droplet(position=cell, contents={name: UNIT_DROPLET_NL})
+            events.append(SimEvent(t, "dispense", f"{name} at {cell}", op.id))
+            out.append(droplet)
+        return out
+
+    def _check_module_health(
+        self, module: PlacedModule, faulty_now: list[Point], op_id: str
+    ) -> None:
+        for cell in faulty_now:
+            if module.footprint.contains_point(cell):
+                raise SimulationError(
+                    f"operation {op_id} is placed over faulty cell {cell}; "
+                    "reconfiguration should have moved it"
+                )
+
+    def _transport(
+        self,
+        droplet: Droplet,
+        goal: Point,
+        t: float,
+        faulty_now: list[Point],
+        other_droplets: list[Point],
+        events: list[SimEvent],
+        op_id: str,
+        obstacle_time: float | None = None,
+    ) -> int:
+        if droplet.position is None:
+            raise SimulationError(f"droplet {droplet.droplet_id} is not on the array")
+        if droplet.position == goal:
+            return 0
+        # Obstacles: every module operating while this transport happens,
+        # except the destination module itself. *obstacle_time* lets an
+        # evacuation route use the configuration just before a module
+        # handover (dynamic reconfigurability reuses cells back-to-back).
+        query_t = t if obstacle_time is None else obstacle_time
+        active = [
+            s.module.footprint
+            for s in self._states.values()
+            if s.module is not None
+            and s.op_id != op_id
+            and s.start <= query_t < s.finish
+        ]
+        try:
+            route = self.router.route(
+                droplet.position,
+                goal,
+                blocked_rects=active,
+                blocked_cells=faulty_now,
+                other_droplets=other_droplets,
+            )
+        except RoutingError:
+            # Tight arrays: let the controller shuffle parked droplets a
+            # half-pitch aside (waive the inflation ring, then the parked
+            # droplets themselves). Both degradations are logged.
+            try:
+                route = self.router.route(
+                    droplet.position,
+                    goal,
+                    blocked_rects=active,
+                    blocked_cells=faulty_now,
+                    other_droplets=other_droplets,
+                    inflate=False,
+                )
+                events.append(
+                    SimEvent(t, "transport", "fluidic spacing waived (tight array)", op_id)
+                )
+            except RoutingError:
+                route = self.router.route(
+                    droplet.position,
+                    goal,
+                    blocked_rects=active,
+                    blocked_cells=faulty_now,
+                )
+                events.append(
+                    SimEvent(
+                        t,
+                        "transport",
+                        "parked droplets shuffled aside (tight array)",
+                        op_id,
+                    )
+                )
+        seconds = self.ew.transport_time_s(route.length, self.drive_voltage)
+        events.append(
+            SimEvent(
+                t,
+                "transport",
+                f"droplet {droplet.droplet_id}: {route.start} -> {route.end} "
+                f"({route.length} cells, {seconds:.3f} s)",
+                op_id,
+            )
+        )
+        droplet.position = goal
+        return route.length

@@ -1,0 +1,118 @@
+"""Schedule container: operation -> time interval, plus profile analyses.
+
+A schedule is the output of architectural-level synthesis and the input
+to placement — it pins every module's 3-D box to its cutting plane
+``t = S_i`` (paper Figure 2). Besides the mapping itself, this module
+computes the concurrency and cell-demand profiles used to choose
+sensible core-area bounds and to regenerate the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.assay.graph import SequencingGraph
+from repro.geometry import Interval
+from repro.util.errors import ScheduleError
+
+
+class Schedule:
+    """Immutable mapping from operation ids to half-open time intervals."""
+
+    def __init__(self, intervals: Mapping[str, Interval]) -> None:
+        self._intervals = dict(intervals)
+
+    def interval(self, op_id: str) -> Interval:
+        """The scheduled span of *op_id*."""
+        try:
+            return self._intervals[op_id]
+        except KeyError:
+            raise ScheduleError(f"operation {op_id!r} is not scheduled") from None
+
+    def start(self, op_id: str) -> float:
+        """Scheduled start time."""
+        return self.interval(op_id).start
+
+    def stop(self, op_id: str) -> float:
+        """Scheduled completion time."""
+        return self.interval(op_id).stop
+
+    def __contains__(self, op_id: str) -> bool:
+        return op_id in self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def items(self) -> list[tuple[str, Interval]]:
+        """(op id, interval) pairs sorted by start time, then id."""
+        return sorted(self._intervals.items(), key=lambda kv: (kv[1].start, kv[0]))
+
+    def op_ids(self) -> list[str]:
+        """Scheduled operation ids, by start time."""
+        return [op_id for op_id, _ in self.items()]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the whole assay."""
+        return max((iv.stop for iv in self._intervals.values()), default=0.0)
+
+    def event_times(self) -> list[float]:
+        """Sorted distinct start/stop instants."""
+        times: set[float] = set()
+        for iv in self._intervals.values():
+            times.add(iv.start)
+            times.add(iv.stop)
+        return sorted(times)
+
+    def active_at(self, t: float) -> list[str]:
+        """Operations whose interval contains instant *t*."""
+        return sorted(
+            op_id for op_id, iv in self._intervals.items() if iv.contains_time(t)
+        )
+
+    def concurrency_profile(self) -> list[tuple[float, int]]:
+        """(time, #active ops) at each event instant — Figure 6's envelope."""
+        return [(t, len(self.active_at(t))) for t in self.event_times()]
+
+    def max_concurrency(self) -> int:
+        """Peak number of simultaneously active operations."""
+        profile = self.concurrency_profile()
+        return max((n for _, n in profile), default=0)
+
+    def cell_demand_profile(
+        self, footprints: Mapping[str, int]
+    ) -> list[tuple[float, int]]:
+        """(time, total footprint cells of active ops) at each event instant.
+
+        *footprints* maps op id -> footprint area in cells; operations
+        missing from it (dispense/output at boundary ports) count zero.
+        """
+        out = []
+        for t in self.event_times():
+            demand = sum(footprints.get(op, 0) for op in self.active_at(t))
+            out.append((t, demand))
+        return out
+
+    def peak_cell_demand(self, footprints: Mapping[str, int]) -> int:
+        """Maximum concurrent cell demand — a lower bound on array area."""
+        profile = self.cell_demand_profile(footprints)
+        return max((d for _, d in profile), default=0)
+
+    def validate_precedence(self, graph: SequencingGraph) -> None:
+        """Check every dependency finishes before its consumer starts.
+
+        Raises ``ScheduleError`` on the first violated edge or any
+        unscheduled operation of *graph*.
+        """
+        for op in graph:
+            if op.id not in self._intervals:
+                raise ScheduleError(f"operation {op.id!r} is not scheduled")
+        for u, v in graph.edges():
+            if self.stop(u) > self.start(v):
+                raise ScheduleError(
+                    f"precedence violated: {u} finishes at {self.stop(u):g} "
+                    f"but {v} starts at {self.start(v):g}"
+                )
+
+    def __str__(self) -> str:
+        return f"Schedule({len(self._intervals)} ops, makespan {self.makespan:g} s)"

@@ -1,0 +1,39 @@
+"""On-line testing substrate (paper references [13] and [14]).
+
+The paper assumes faulty cells are "detected using the technique
+described in [13]": a test droplet is dispensed from a test source,
+pumped through a path covering the cells under test, and observed at a
+capacitive sensing circuit at the sink — if the droplet never arrives,
+some cell on the path is faulty. Reference [14] extends this to
+*concurrent* testing, interleaved with assay operation on cells not
+currently used by modules.
+
+We simulate that hardware: :mod:`repro.testing.test_droplet` plans
+coverage paths and simulates the walk over an array with injected
+faults; :mod:`repro.testing.detector` models the sink sensor;
+:mod:`repro.testing.localize` pinpoints the faulty cell by adaptive
+binary search over path prefixes; :mod:`repro.testing.online` schedules
+concurrent tests around a running placement.
+"""
+
+from repro.testing.detector import CapacitiveSensor, SinkObservation
+from repro.testing.localize import FaultLocalizer
+from repro.testing.online import OnlineTestPlan, OnlineTester
+from repro.testing.test_droplet import (
+    TestDroplet,
+    TestOutcome,
+    free_cell_paths,
+    snake_path,
+)
+
+__all__ = [
+    "CapacitiveSensor",
+    "FaultLocalizer",
+    "OnlineTestPlan",
+    "OnlineTester",
+    "SinkObservation",
+    "TestDroplet",
+    "TestOutcome",
+    "free_cell_paths",
+    "snake_path",
+]

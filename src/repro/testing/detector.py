@@ -1,0 +1,62 @@
+"""The capacitive sink sensor.
+
+Reference [13]'s detection hardware is a capacitive sensing circuit at
+the sink electrode: a droplet sitting on the sink changes the
+electrode's capacitance by orders of magnitude, so arrival is a
+threshold test. The sensor model exposes exactly what the hardware
+observes — *arrival within a deadline, nothing else* — which is why
+fault localization needs the adaptive procedure in
+:mod:`repro.testing.localize` rather than just reading the stall
+position out of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.testing.test_droplet import TestOutcome
+
+#: Capacitance of a dry sink electrode, picofarads (order of magnitude
+#: for a 1.5 mm electrode with a 600 um gap and silicone-oil filler).
+DRY_CAPACITANCE_PF = 0.06
+
+#: Capacitance with an aqueous droplet present, picofarads. Water's
+#: permittivity (~80) dwarfs the filler's (~2.7): a huge, easy margin.
+WET_CAPACITANCE_PF = 1.8
+
+
+@dataclass(frozen=True)
+class SinkObservation:
+    """What the test controller learns from one test run."""
+
+    #: True if capacitance crossed the wet threshold before the deadline.
+    droplet_arrived: bool
+    #: Modeled capacitance reading at the deadline, pF.
+    capacitance_pf: float
+    #: Actuation steps the controller waited (path length + margin).
+    deadline_steps: int
+
+
+class CapacitiveSensor:
+    """Threshold detector on the sink electrode."""
+
+    def __init__(self, threshold_pf: float = 0.5, margin_steps: int = 2) -> None:
+        if not DRY_CAPACITANCE_PF < threshold_pf < WET_CAPACITANCE_PF:
+            raise ValueError(
+                f"threshold {threshold_pf} pF must lie between dry "
+                f"({DRY_CAPACITANCE_PF}) and wet ({WET_CAPACITANCE_PF}) readings"
+            )
+        self.threshold_pf = threshold_pf
+        #: Extra actuation steps allowed beyond the nominal path length.
+        self.margin_steps = margin_steps
+
+    def observe(self, outcome: TestOutcome) -> SinkObservation:
+        """Convert a simulated walk into the controller-visible reading."""
+        deadline = outcome.path_length + self.margin_steps
+        arrived = outcome.passed
+        cap = WET_CAPACITANCE_PF if arrived else DRY_CAPACITANCE_PF
+        return SinkObservation(
+            droplet_arrived=cap >= self.threshold_pf and arrived,
+            capacitance_pf=cap,
+            deadline_steps=deadline,
+        )

@@ -1,0 +1,67 @@
+"""Fault localization by adaptive path bisection.
+
+The sink sensor only reports pass/fail for a whole path, so finding
+*which* cell failed requires multiple runs. With a single faulty cell
+(the paper's fault model) the outcome of a prefix walk is monotone in
+the prefix length — the walk passes iff the prefix stops short of the
+fault — so binary search over prefix lengths finds the faulty cell in
+``ceil(log2(n))`` test runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.grid.array import MicrofluidicArray
+from repro.testing.detector import CapacitiveSensor
+from repro.testing.test_droplet import TestDroplet, TestOutcome
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Outcome of a localization campaign on one path."""
+
+    faulty_cell: Point | None
+    #: Number of test-droplet runs consumed.
+    runs: int
+
+    @property
+    def fault_found(self) -> bool:
+        """True when a faulty cell was pinpointed."""
+        return self.faulty_cell is not None
+
+
+class FaultLocalizer:
+    """Pinpoints a single faulty cell using only sink observations."""
+
+    def __init__(self, sensor: CapacitiveSensor | None = None) -> None:
+        self.sensor = sensor if sensor is not None else CapacitiveSensor()
+        self._droplet = TestDroplet()
+
+    def _passes(self, array: MicrofluidicArray, path: list[Point]) -> tuple[bool, TestOutcome]:
+        outcome = self._droplet.walk(array, path)
+        return self.sensor.observe(outcome).droplet_arrived, outcome
+
+    def localize(self, array: MicrofluidicArray, path: list[Point]) -> LocalizationResult:
+        """Find the first faulty cell on *path* (None if the path passes).
+
+        Runs a full-path test first; on failure, binary-searches prefix
+        lengths. Each probe re-dispenses a fresh test droplet, as the
+        hardware procedure would.
+        """
+        runs = 1
+        ok, _ = self._passes(array, path)
+        if ok:
+            return LocalizationResult(faulty_cell=None, runs=runs)
+        # Invariant: prefix of length lo passes; prefix of length hi fails.
+        lo, hi = 0, len(path)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            runs += 1
+            ok, _ = self._passes(array, path[:mid]) if mid > 0 else (True, None)
+            if ok:
+                lo = mid
+            else:
+                hi = mid
+        return LocalizationResult(faulty_cell=path[hi - 1], runs=runs)

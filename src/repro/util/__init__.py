@@ -1,0 +1,25 @@
+"""Shared utilities: RNG plumbing, error types, and table formatting."""
+
+from repro.util.errors import (
+    BindingError,
+    PlacementError,
+    ReconfigurationError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.util.rng import ensure_rng
+from repro.util.tables import format_table
+
+__all__ = [
+    "BindingError",
+    "PlacementError",
+    "ReconfigurationError",
+    "ReproError",
+    "RoutingError",
+    "ScheduleError",
+    "SimulationError",
+    "ensure_rng",
+    "format_table",
+]

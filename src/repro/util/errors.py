@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a bioassay cannot be scheduled (cycle, infeasible cap, ...)."""
+
+
+class BindingError(ReproError):
+    """Raised when an operation cannot be bound to a module specification."""
+
+
+class PlacementError(ReproError):
+    """Raised when a placement is infeasible or violates the core area."""
+
+
+class ReconfigurationError(ReproError):
+    """Raised when partial reconfiguration cannot relocate a faulty module."""
+
+
+class RoutingError(ReproError):
+    """Raised when the droplet router cannot find a constraint-satisfying path."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-time biochip simulator reaches an invalid state."""

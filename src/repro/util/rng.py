@@ -1,0 +1,39 @@
+"""Deterministic random number plumbing.
+
+All stochastic components of the library (the annealer, fault injection,
+workload generators) accept either an integer seed, an existing
+:class:`random.Random` instance, or ``None``. :func:`ensure_rng`
+normalizes those three cases so that every experiment is reproducible
+when a seed is supplied and remains convenient when one is not.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def ensure_rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` for *seed_or_rng*.
+
+    * ``None`` -> a fresh, OS-seeded generator.
+    * ``int`` -> a generator seeded with that value (reproducible).
+    * ``random.Random`` -> returned unchanged (caller-owned stream).
+    """
+    if seed_or_rng is None:
+        return random.Random()
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if isinstance(seed_or_rng, bool) or not isinstance(seed_or_rng, int):
+        raise TypeError(
+            f"seed must be None, int, or random.Random, got {type(seed_or_rng).__name__}"
+        )
+    return random.Random(seed_or_rng)
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    Used when a component needs its own stream (e.g. fault injection
+    inside a simulation) without perturbing the parent's sequence.
+    """
+    return random.Random(rng.getrandbits(64))

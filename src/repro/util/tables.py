@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller so that significant digits match the paper's tables.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

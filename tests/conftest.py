@@ -1,0 +1,60 @@
+"""Shared fixtures: the PCR case study and pre-computed placements.
+
+Placement runs are the expensive part of the suite, so session-scoped
+fixtures run each placer once and share the result; tests must treat
+them as read-only (copy before mutating).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pcr import pcr_case_study
+from repro.placement.annealer import AnnealingParams
+from repro.placement.greedy import GreedyPlacer, build_placed_modules
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.placement.two_stage import TwoStagePlacer
+
+
+@pytest.fixture(scope="session")
+def pcr():
+    """The paper's case study: graph + Table 1 binding + schedule."""
+    return pcr_case_study()
+
+
+@pytest.fixture(scope="session")
+def pcr_modules(pcr):
+    """Unplaced PCR modules (fresh list per test is unnecessary —
+    PlacedModule is immutable)."""
+    return build_placed_modules(pcr.schedule, pcr.binding)
+
+
+@pytest.fixture(scope="session")
+def sa_result(pcr):
+    """One fault-oblivious SA placement of the PCR assay (seed 2)."""
+    placer = SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=2)
+    return placer.place(pcr.schedule, pcr.binding)
+
+
+@pytest.fixture(scope="session")
+def greedy_result(pcr):
+    """The greedy baseline placement of the PCR assay."""
+    return GreedyPlacer().place(pcr.schedule, pcr.binding)
+
+
+@pytest.fixture(scope="session")
+def two_stage_result(pcr):
+    """One two-stage placement at beta=30 with small test schedules."""
+    placer = TwoStagePlacer(
+        beta=30.0,
+        stage1_params=AnnealingParams.fast(),
+        stage2_params=AnnealingParams(
+            initial_temp=30.0,
+            cooling=0.8,
+            iterations_per_module=25,
+            freeze_rounds=2,
+            window_gamma=0.4,
+        ),
+        seed=7,
+    )
+    return placer.place(pcr.schedule, pcr.binding)

@@ -1,0 +1,157 @@
+"""Unit tests for sequencing graphs and operations."""
+
+import pytest
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.operations import Operation, OperationType
+from repro.modules.kinds import ModuleKind
+from repro.util.errors import ScheduleError
+
+
+def simple_chain() -> SequencingGraph:
+    g = SequencingGraph("chain")
+    for op_id in ("a", "b", "c"):
+        g.add_operation(Operation(op_id, OperationType.MIX))
+    g.add_dependency("a", "b")
+    g.add_dependency("b", "c")
+    return g
+
+
+class TestOperation:
+    def test_reconfigurable_classification(self):
+        assert OperationType.MIX.is_reconfigurable
+        assert OperationType.STORE.is_reconfigurable
+        assert OperationType.DETECT.is_reconfigurable
+        assert OperationType.DILUTE.is_reconfigurable
+        assert not OperationType.DISPENSE.is_reconfigurable
+        assert not OperationType.OUTPUT.is_reconfigurable
+
+    def test_module_kind_mapping(self):
+        assert OperationType.MIX.module_kind is ModuleKind.MIXER
+        assert OperationType.DETECT.module_kind is ModuleKind.DETECTOR
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("", OperationType.MIX)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", OperationType.MIX, duration_s=0.0)
+
+
+class TestGraphConstruction:
+    def test_add_and_lookup(self):
+        g = SequencingGraph()
+        op = g.add_operation(Operation("m1", OperationType.MIX))
+        assert g.operation("m1") is op
+        assert "m1" in g
+        assert len(g) == 1
+
+    def test_duplicate_id_rejected(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("m1", OperationType.MIX))
+        with pytest.raises(ValueError):
+            g.add_operation(Operation("m1", OperationType.MIX))
+
+    def test_dependency_requires_existing_nodes(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("a", OperationType.MIX))
+        with pytest.raises(KeyError):
+            g.add_dependency("a", "missing")
+
+    def test_self_dependency_rejected(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("a", OperationType.MIX))
+        with pytest.raises(ValueError):
+            g.add_dependency("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = simple_chain()
+        with pytest.raises(ValueError):
+            g.add_dependency("c", "a")
+        # The offending edge must not linger.
+        assert ("c", "a") not in g.edges()
+
+    def test_mix_convenience(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("a", OperationType.DISPENSE, duration_s=1))
+        g.add_operation(Operation("b", OperationType.DISPENSE, duration_s=1))
+        m = g.mix("m", ["a", "b"])
+        assert m.type is OperationType.MIX
+        assert g.predecessors("m") == ["a", "b"]
+
+    def test_unknown_operation_lookup(self):
+        with pytest.raises(KeyError):
+            SequencingGraph().operation("ghost")
+
+
+class TestGraphStructure:
+    def test_sources_and_sinks(self):
+        g = simple_chain()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_topological_order_respects_edges(self):
+        g = simple_chain()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_levels(self):
+        g = simple_chain()
+        assert g.levels() == {"a": 0, "b": 1, "c": 2}
+
+    def test_critical_path_length(self):
+        g = simple_chain()
+        assert g.critical_path_length({"a": 2, "b": 3, "c": 4}) == 9
+
+    def test_critical_path_nodes(self):
+        g = simple_chain()
+        assert g.critical_path({"a": 2, "b": 3, "c": 4}) == ["a", "b", "c"]
+
+    def test_critical_path_picks_longest_branch(self):
+        g = SequencingGraph()
+        for op_id in ("a", "b", "c"):
+            g.add_operation(Operation(op_id, OperationType.MIX))
+        g.add_dependency("a", "c")
+        g.add_dependency("b", "c")
+        path = g.critical_path({"a": 10, "b": 2, "c": 1})
+        assert path == ["a", "c"]
+
+    def test_missing_duration_raises(self):
+        g = simple_chain()
+        with pytest.raises(ScheduleError):
+            g.critical_path_length({"a": 1, "b": 1})
+
+    def test_reconfigurable_operations_filter(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("d", OperationType.DISPENSE, duration_s=1))
+        g.add_operation(Operation("m", OperationType.MIX))
+        assert [op.id for op in g.reconfigurable_operations()] == ["m"]
+
+    def test_to_networkx_carries_operations(self):
+        g = simple_chain()
+        nxg = g.to_networkx()
+        assert nxg.nodes["a"]["operation"].type is OperationType.MIX
+        assert nxg.number_of_edges() == 2
+
+
+class TestValidation:
+    def test_three_input_mix_rejected(self):
+        g = SequencingGraph()
+        for op_id in ("a", "b", "c", "m"):
+            g.add_operation(Operation(op_id, OperationType.MIX))
+        for src in ("a", "b", "c"):
+            g.add_dependency(src, "m")
+        with pytest.raises(ScheduleError, match="binary"):
+            g.validate()
+
+    def test_dispense_with_producer_rejected(self):
+        g = SequencingGraph()
+        g.add_operation(Operation("m", OperationType.MIX))
+        g.add_operation(Operation("d", OperationType.DISPENSE, duration_s=1))
+        g.add_dependency("m", "d")
+        with pytest.raises(ScheduleError, match="dispense"):
+            g.validate()
+
+    def test_valid_graph_passes(self):
+        simple_chain().validate()

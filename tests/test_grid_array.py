@@ -1,0 +1,156 @@
+"""Unit tests for the microfluidic array, cells, and ports."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid.array import MicrofluidicArray, Port
+from repro.grid.cell import Cell, CellHealth, Electrode
+
+
+class TestElectrode:
+    def test_starts_inactive(self):
+        e = Electrode()
+        assert e.voltage == 0.0
+        assert not e.is_active
+
+    def test_activate_default_max(self):
+        e = Electrode()
+        e.activate()
+        assert e.voltage == 90.0
+        assert e.is_active
+
+    def test_activate_below_threshold_is_not_active(self):
+        e = Electrode()
+        e.activate(5.0)
+        assert not e.is_active
+
+    def test_overdrive_rejected(self):
+        e = Electrode()
+        with pytest.raises(ValueError):
+            e.activate(120.0)
+
+    def test_deactivate(self):
+        e = Electrode()
+        e.activate()
+        e.deactivate()
+        assert e.voltage == 0.0
+
+
+class TestCell:
+    def test_healthy_by_default(self):
+        c = Cell(1, 1)
+        assert c.health is CellHealth.HEALTHY
+        assert not c.is_faulty
+
+    def test_mark_faulty_deactivates_electrode(self):
+        c = Cell(1, 1)
+        c.electrode.activate()
+        c.mark_faulty()
+        assert c.is_faulty
+        assert c.electrode.voltage == 0.0
+
+    def test_repair(self):
+        c = Cell(1, 1)
+        c.mark_faulty()
+        c.repair()
+        assert not c.is_faulty
+
+    def test_str_marks_faults(self):
+        c = Cell(2, 3)
+        assert "!" not in str(c)
+        c.mark_faulty()
+        assert "!" in str(c)
+
+
+class TestArrayGeometry:
+    def test_dimensions_and_area(self):
+        a = MicrofluidicArray(9, 7)
+        assert a.cell_count == 63
+        assert a.bounds == Rect(1, 1, 9, 7)
+        # Paper: 63 cells at 1.5 mm pitch = 141.75 mm^2.
+        assert a.area_mm2 == pytest.approx(141.75)
+
+    def test_cell_area(self):
+        assert MicrofluidicArray(2, 2).cell_area_mm2 == pytest.approx(2.25)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MicrofluidicArray(0, 5)
+        with pytest.raises(ValueError):
+            MicrofluidicArray(5, 5, pitch_mm=0)
+
+    def test_in_bounds(self):
+        a = MicrofluidicArray(4, 3)
+        assert a.in_bounds((1, 1))
+        assert a.in_bounds((4, 3))
+        assert not a.in_bounds((5, 3))
+        assert not a.in_bounds((0, 1))
+
+    def test_contains_rect(self):
+        a = MicrofluidicArray(5, 5)
+        assert a.contains_rect(Rect(1, 1, 5, 5))
+        assert not a.contains_rect(Rect(3, 3, 4, 4))
+
+    def test_cell_lookup_out_of_bounds(self):
+        with pytest.raises(KeyError):
+            MicrofluidicArray(3, 3).cell((4, 1))
+
+    def test_cells_iteration_count(self):
+        a = MicrofluidicArray(4, 5)
+        assert sum(1 for _ in a.cells()) == 20
+
+    def test_neighbors_corner(self):
+        a = MicrofluidicArray(4, 4)
+        assert set(a.neighbors((1, 1))) == {Point(2, 1), Point(1, 2)}
+
+    def test_neighbors_interior(self):
+        a = MicrofluidicArray(4, 4)
+        assert len(a.neighbors((2, 2))) == 4
+
+
+class TestArrayFaults:
+    def test_mark_and_query(self):
+        a = MicrofluidicArray(5, 5)
+        a.mark_faulty((3, 4))
+        assert a.is_faulty((3, 4))
+        assert a.faulty_cells() == [Point(3, 4)]
+
+    def test_repair(self):
+        a = MicrofluidicArray(5, 5)
+        a.mark_faulty((2, 2))
+        a.repair((2, 2))
+        assert a.faulty_cells() == []
+
+    def test_multiple_faults(self):
+        a = MicrofluidicArray(5, 5)
+        a.mark_faulty((1, 1))
+        a.mark_faulty((5, 5))
+        assert len(a.faulty_cells()) == 2
+
+
+class TestPorts:
+    def test_add_and_lookup(self):
+        a = MicrofluidicArray(6, 6)
+        a.add_port(Port("sample", Point(1, 3)))
+        assert a.port("sample").location == Point(1, 3)
+        assert len(a.ports()) == 1
+
+    def test_port_must_be_on_boundary(self):
+        a = MicrofluidicArray(6, 6)
+        with pytest.raises(ValueError):
+            a.add_port(Port("bad", Point(3, 3)))
+
+    def test_port_outside_rejected(self):
+        a = MicrofluidicArray(6, 6)
+        with pytest.raises(ValueError):
+            a.add_port(Port("bad", Point(7, 3)))
+
+    def test_duplicate_name_rejected(self):
+        a = MicrofluidicArray(6, 6)
+        a.add_port(Port("p", Point(1, 1)))
+        with pytest.raises(ValueError):
+            a.add_port(Port("p", Point(6, 6)))
+
+    def test_constructor_ports(self):
+        a = MicrofluidicArray(4, 4, ports=[Port("in", Point(1, 2)), Port("out", Point(4, 2))])
+        assert {p.name for p in a.ports()} == {"in", "out"}

@@ -1,0 +1,66 @@
+"""Tests for fault injection and Monte-Carlo survival estimation."""
+
+import pytest
+
+from repro.fault.fti import compute_fti
+from repro.fault.injection import FaultInjector, estimate_survival_probability
+from repro.geometry import Point
+from repro.grid.array import MicrofluidicArray
+
+
+class TestFaultInjector:
+    def test_uniform_cell_in_bounds(self):
+        inj = FaultInjector(seed=1)
+        for _ in range(50):
+            p = inj.random_cell(7, 9)
+            assert 1 <= p.x <= 7 and 1 <= p.y <= 9
+
+    def test_deterministic_with_seed(self):
+        a = [FaultInjector(seed=9).random_cell(10, 10) for _ in range(5)]
+        b = [FaultInjector(seed=9).random_cell(10, 10) for _ in range(5)]
+        assert a == b
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0).random_cell(0, 5)
+
+    def test_inject_marks_array(self):
+        array = MicrofluidicArray(5, 5)
+        cell = FaultInjector(seed=3).inject(array)
+        assert array.is_faulty(cell)
+        assert array.faulty_cells() == [cell]
+
+    def test_inject_skips_already_faulty(self):
+        array = MicrofluidicArray(2, 1)
+        inj = FaultInjector(seed=3)
+        first = inj.inject(array)
+        second = inj.inject(array)
+        assert first != second
+        with pytest.raises(ValueError):
+            inj.inject(array)  # no healthy cells left
+
+    def test_weighted_model(self):
+        # All weight on (1, 1): every draw must return it.
+        inj = FaultInjector(
+            seed=5, weight_fn=lambda p: 1.0 if p == Point(1, 1) else 0.0
+        )
+        assert all(inj.random_cell(4, 4) == Point(1, 1) for _ in range(10))
+
+    def test_negative_weights_rejected(self):
+        inj = FaultInjector(seed=5, weight_fn=lambda p: -1.0)
+        with pytest.raises(ValueError):
+            inj.random_cell(3, 3)
+
+
+class TestSurvivalEstimate:
+    def test_converges_to_fti(self, sa_result):
+        """Under the paper's uniform single-fault model, survival
+        probability *is* the FTI; the Monte-Carlo estimate must agree
+        within sampling error."""
+        fti = compute_fti(sa_result.placement).fti
+        est = estimate_survival_probability(sa_result.placement, trials=400, seed=11)
+        assert est == pytest.approx(fti, abs=0.09)
+
+    def test_trials_validation(self, sa_result):
+        with pytest.raises(ValueError):
+            estimate_survival_probability(sa_result.placement, trials=0)

@@ -1,0 +1,51 @@
+"""Tests for the scaling-study experiment harness."""
+
+import pytest
+
+from repro.experiments.scaling import ScalingRow, run_scaling_study
+from repro.placement.annealer import AnnealingParams
+
+_TINY = AnnealingParams(
+    initial_temp=200.0,
+    cooling=0.7,
+    iterations_per_module=15,
+    freeze_rounds=2,
+    window_gamma=0.4,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_scaling_study(leaf_counts=(2, 4), seed=7, params=_TINY)
+
+
+class TestScalingStudy:
+    def test_row_per_leaf_count(self, study):
+        assert [r.leaves for r in study.rows] == [2, 4]
+
+    def test_operation_counts(self, study):
+        assert [r.operations for r in study.rows] == [3, 7]
+
+    def test_area_covers_lower_bound(self, study):
+        for row in study.rows:
+            assert row.area_cells >= row.peak_demand_cells
+
+    def test_overhead_nonnegative(self, study):
+        for row in study.rows:
+            assert row.area_overhead_pct >= 0.0
+
+    def test_fti_bounds(self, study):
+        for row in study.rows:
+            assert 0.0 <= row.fti <= 1.0
+
+    def test_table_renders_all_rows(self, study):
+        text = study.table_text()
+        for row in study.rows:
+            assert str(row.area_cells) in text
+
+    def test_zero_demand_edge_case(self):
+        row = ScalingRow(
+            leaves=2, operations=3, makespan_s=1.0, peak_demand_cells=0,
+            area_cells=0, fti=1.0, placement_runtime_s=0.0,
+        )
+        assert row.area_overhead_pct == 0.0

@@ -1,0 +1,169 @@
+"""Tests for the simulator substrate: electrowetting model, droplets,
+and the A* router."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.sim.droplet import Droplet
+from repro.sim.electrowetting import ElectrowettingModel
+from repro.sim.router import DropletRouter
+from repro.util.errors import RoutingError
+
+
+class TestElectrowettingModel:
+    def test_below_threshold_no_motion(self):
+        m = ElectrowettingModel()
+        assert m.velocity_cm_s(0) == 0.0
+        assert m.velocity_cm_s(12.0) == 0.0
+
+    def test_saturation_velocity(self):
+        m = ElectrowettingModel()
+        # Paper Section 2: up to 20 cm/s at the top of the 0-90 V range.
+        assert m.velocity_cm_s(90.0) == pytest.approx(20.0)
+        assert m.velocity_cm_s(200.0) == pytest.approx(20.0)  # clamped
+
+    def test_velocity_monotone_in_voltage(self):
+        m = ElectrowettingModel()
+        vels = [m.velocity_cm_s(v) for v in range(0, 95, 5)]
+        assert vels == sorted(vels)
+
+    def test_quadratic_shape(self):
+        m = ElectrowettingModel()
+        mid = (m.threshold_v + m.saturation_v) / 2
+        # Halfway up the drive range gives a quarter of max velocity.
+        assert m.velocity_cm_s(mid) == pytest.approx(5.0)
+
+    def test_step_time(self):
+        m = ElectrowettingModel()
+        # 1.5 mm pitch at 20 cm/s -> 7.5 ms per cell.
+        assert m.step_time_s(90.0) == pytest.approx(0.0075)
+
+    def test_step_time_below_threshold_raises(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ElectrowettingModel().step_time_s(5.0)
+
+    def test_transport_time_scales_linearly(self):
+        m = ElectrowettingModel()
+        assert m.transport_time_s(10) == pytest.approx(10 * m.step_time_s(65.0))
+        assert m.transport_time_s(0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        m = ElectrowettingModel()
+        with pytest.raises(ValueError):
+            m.velocity_cm_s(-1)
+        with pytest.raises(ValueError):
+            m.transport_time_s(-1)
+
+    def test_invalid_model_params(self):
+        with pytest.raises(ValueError):
+            ElectrowettingModel(threshold_v=100.0, saturation_v=90.0)
+        with pytest.raises(ValueError):
+            ElectrowettingModel(max_velocity_cm_s=0)
+
+
+class TestDroplet:
+    def test_volume_and_reagents(self):
+        d = Droplet(position=Point(1, 1), contents={"a": 500.0, "b": 250.0})
+        assert d.volume_nl == 750.0
+        assert d.reagents == {"a", "b"}
+
+    def test_unique_ids(self):
+        a = Droplet(position=None)
+        b = Droplet(position=None)
+        assert a.droplet_id != b.droplet_id
+
+    def test_merge_adds_volumes(self):
+        a = Droplet(position=Point(1, 1), contents={"x": 100.0})
+        b = Droplet(position=Point(1, 2), contents={"x": 50.0, "y": 25.0})
+        merged = a.merged_with(b, produced_by="mix1")
+        assert merged.contents == {"x": 150.0, "y": 25.0}
+        assert merged.position == Point(1, 1)
+        assert merged.produced_by == "mix1"
+        assert merged.droplet_id not in (a.droplet_id, b.droplet_id)
+
+    def test_concentration(self):
+        d = Droplet(position=None, contents={"x": 75.0, "y": 25.0})
+        assert d.concentration("x") == pytest.approx(0.75)
+        assert d.concentration("absent") == 0.0
+
+    def test_empty_droplet_concentration(self):
+        assert Droplet(position=None).concentration("x") == 0.0
+
+    def test_str_mentions_contents(self):
+        d = Droplet(position=Point(2, 3), contents={"KCl": 900.0})
+        assert "KCl" in str(d)
+
+
+class TestDropletRouter:
+    def test_straight_route(self):
+        r = DropletRouter(8, 8)
+        route = r.route(Point(1, 1), Point(5, 1))
+        assert route.start == Point(1, 1)
+        assert route.end == Point(5, 1)
+        assert route.length == 4
+
+    def test_route_is_adjacent_chain(self):
+        r = DropletRouter(8, 8)
+        route = r.route(Point(1, 1), Point(6, 7))
+        cells = list(route)
+        for a, b in zip(cells, cells[1:]):
+            assert a.manhattan_distance(b) == 1
+
+    def test_shortest_without_obstacles(self):
+        r = DropletRouter(10, 10)
+        route = r.route(Point(2, 2), Point(7, 9))
+        assert route.length == Point(2, 2).manhattan_distance(Point(7, 9))
+
+    def test_detours_around_module(self):
+        r = DropletRouter(8, 8)
+        wall = Rect(4, 1, 1, 7)  # vertical wall with a gap at the top
+        route = r.route(Point(1, 1), Point(8, 1), blocked_rects=[wall])
+        assert route.length > 7
+        assert all(not wall.contains_point(c) for c in route)
+
+    def test_no_path_raises(self):
+        r = DropletRouter(8, 8)
+        wall = Rect(4, 1, 1, 8)  # full-height wall
+        with pytest.raises(RoutingError):
+            r.route(Point(1, 1), Point(8, 1), blocked_rects=[wall])
+
+    def test_blocked_cells_avoided(self):
+        r = DropletRouter(5, 1)
+        with pytest.raises(RoutingError):
+            r.route(Point(1, 1), Point(5, 1), blocked_cells=[Point(3, 1)])
+
+    def test_same_start_goal(self):
+        r = DropletRouter(4, 4)
+        route = r.route(Point(2, 2), Point(2, 2))
+        assert route.length == 0
+
+    def test_droplet_inflation_respected(self):
+        r = DropletRouter(3, 9)
+        # A parked droplet in the middle column inflates to a 3x3 block,
+        # sealing the 3-wide corridor.
+        with pytest.raises(RoutingError):
+            r.route(Point(2, 1), Point(2, 9), other_droplets=[Point(2, 5)])
+
+    def test_inflation_disabled_squeezes_past(self):
+        r = DropletRouter(3, 9)
+        route = r.route(
+            Point(2, 1), Point(2, 9), other_droplets=[Point(2, 5)], inflate=False
+        )
+        assert Point(2, 5) not in set(route)
+
+    def test_goal_droplet_merge_exemption(self):
+        r = DropletRouter(5, 5)
+        # Goal cell holds the droplet we are merging with.
+        route = r.route(
+            Point(1, 1), Point(3, 3), other_droplets=[Point(3, 3)]
+        )
+        assert route.end == Point(3, 3)
+
+    def test_out_of_bounds_endpoints(self):
+        r = DropletRouter(4, 4)
+        with pytest.raises(RoutingError):
+            r.route(Point(0, 1), Point(2, 2))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            DropletRouter(0, 4)

@@ -1,0 +1,177 @@
+"""Integration tests for the discrete-event biochip simulator."""
+
+import pytest
+
+from repro.assay.protocols.dilution import build_serial_dilution_graph
+from repro.assay.protocols.pcr import build_pcr_full_graph
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.sim.engine import BiochipSimulator
+from repro.synthesis.binder import ResourceBinder
+from repro.synthesis.flow import SynthesisFlow
+from repro.synthesis.scheduler import integerized, list_schedule
+from repro.util.errors import SimulationError
+
+PCR_REAGENTS = {
+    "KCl", "dNTP", "gelatin", "primer-f", "primer-r",
+    "taq", "template-DNA", "tris-hcl",
+}
+
+
+@pytest.fixture(scope="module")
+def pcr_sim_setup(request):
+    """Graph + schedule + binding + placement for simulator tests."""
+    pcr = request.getfixturevalue("pcr")
+    placer = SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=2)
+    placement = placer.place(pcr.schedule, pcr.binding).placement
+    return pcr, placement
+
+
+class TestNominalRun:
+    def test_completes_on_schedule(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        report = sim.run()
+        assert report.completed
+        assert report.realized_makespan == pcr.schedule.makespan
+        assert report.delay_s == 0.0
+
+    def test_product_contains_all_reagents(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        report = sim.run()
+        assert report.product is not None
+        assert report.product.reagents == PCR_REAGENTS
+
+    def test_mass_conservation(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        report = sim.run()
+        # 8 unit droplets of 900 nl merge into one product.
+        assert report.product.volume_nl == pytest.approx(8 * 900.0)
+
+    def test_event_log_structure(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        report = sim.run()
+        kinds = {e.kind for e in report.events}
+        assert {"dispense", "transport", "op-start", "op-finish"} <= kinds
+        # 7 mixes -> 7 start and 7 finish events.
+        assert len(report.events_of_kind("op-start")) == 7
+        assert len(report.events_of_kind("op-finish")) == 7
+
+    def test_transport_is_counted(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        report = sim.run()
+        assert report.total_transport_cells > 0
+
+    def test_margin_validation(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        with pytest.raises(ValueError):
+            BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement, margin=0)
+
+
+class TestFaultyRun:
+    def test_fault_triggers_relocation_and_delay(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        cell = sim.module_cell("M6")  # long-running mid-assay module
+        report = sim.run(faults=[(8.0, cell)])
+        assert report.completed
+        assert len(report.relocations) >= 1
+        assert any(r.op_id == "M6" for r in report.relocations)
+        assert report.delay_s > 0
+        # The product is still correct after recovery.
+        assert report.product.reagents == PCR_REAGENTS
+
+    def test_relocated_module_avoids_fault(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        cell = sim.module_cell("M6")
+        report = sim.run(faults=[(8.0, cell)])
+        assert not report.final_placement.get("M6").footprint.contains_point(cell)
+
+    def test_fault_on_unused_cell_is_harmless(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        from repro.geometry import Point
+        report = sim.run(faults=[(1.0, Point(1, 1))])  # margin cell
+        assert report.completed
+        assert report.relocations == []
+
+    def test_fault_after_module_finished_no_relocation(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(pcr.graph, pcr.schedule, pcr.binding, placement)
+        # M4 runs [0, 5); fault its cells at t=18 when only M7 runs.
+        cell = sim.module_cell("M4")
+        report = sim.run(faults=[(18.0, cell)])
+        moved = {r.op_id for r in report.relocations}
+        assert "M4" not in moved
+
+    def test_strict_false_reports_failure(self, pcr_sim_setup):
+        """An unrecoverable fault (no strict mode) yields a failed report,
+        not an exception."""
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(
+            pcr.graph, pcr.schedule, pcr.binding, placement, margin=1, strict=False
+        )
+        # Fault many cells of M7's region to make relocation impossible.
+        m7 = sim.placement.get("M7")
+        faults = [(0.5, c) for c in list(m7.footprint.cells())]
+        report = sim.run(faults=faults)
+        if not report.completed:
+            assert report.failure_reason
+
+    def test_strict_raises(self, pcr_sim_setup):
+        pcr, placement = pcr_sim_setup
+        sim = BiochipSimulator(
+            pcr.graph, pcr.schedule, pcr.binding, placement, margin=1
+        )
+        m7 = sim.placement.get("M7")
+        faults = [(0.5, c) for c in list(m7.footprint.cells())]
+        try:
+            report = sim.run(faults=faults)
+        except SimulationError:
+            return  # expected path
+        assert report.completed  # tiny chance relocation still worked
+
+
+class TestFullGraphRun:
+    def test_pcr_with_dispense_and_output(self):
+        graph = build_pcr_full_graph()
+        binding = ResourceBinder().bind(
+            graph, explicit={k: v for k, v in
+                             [("M1", "mixer-2x2"), ("M2", "mixer-linear-1x4"),
+                              ("M3", "mixer-2x3"), ("M4", "mixer-linear-1x4"),
+                              ("M5", "mixer-linear-1x4"), ("M6", "mixer-2x2"),
+                              ("M7", "mixer-2x4")]}
+        )
+        footprints = {o: s.footprint_area for o, s in binding.items()}
+        schedule = integerized(
+            list_schedule(graph, binding.durations(), max_concurrent_ops=6,
+                          cell_capacity=63, footprints=footprints)
+        )
+        placement = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(), seed=3
+        ).place(schedule, binding).placement
+        sim = BiochipSimulator(graph, schedule, binding, placement)
+        report = sim.run()
+        assert report.completed
+        assert report.product.reagents == PCR_REAGENTS
+        # Output events: droplet left through the waste port.
+        assert report.events_of_kind("output")
+        assert report.product.position is None
+
+    def test_dilution_protocol_runs(self):
+        graph = build_serial_dilution_graph(3)
+        flow = SynthesisFlow(
+            placer=SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=5),
+            max_concurrent_ops=4,
+        )
+        result = flow.run(graph)
+        sim = BiochipSimulator(
+            graph, result.schedule, result.binding, result.placement_result.placement
+        )
+        report = sim.run()
+        assert report.completed

@@ -1,0 +1,220 @@
+"""Unit tests for ASAP/ALAP/list scheduling and the Schedule container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.operations import Operation, OperationType
+from repro.assay.protocols.pcr import build_pcr_mixing_graph
+from repro.geometry import Interval
+from repro.synthesis.schedule import Schedule
+from repro.synthesis.scheduler import (
+    alap_schedule,
+    asap_schedule,
+    integerized,
+    list_schedule,
+    remaining_path_lengths,
+)
+from repro.util.errors import ScheduleError
+
+PCR_DURATIONS = {
+    "M1": 10.0, "M2": 5.0, "M3": 6.0, "M4": 5.0,
+    "M5": 5.0, "M6": 10.0, "M7": 3.0,
+}
+
+
+def chain(n: int = 3) -> SequencingGraph:
+    g = SequencingGraph()
+    prev = None
+    for i in range(n):
+        g.add_operation(Operation(f"op{i}", OperationType.MIX))
+        if prev is not None:
+            g.add_dependency(prev, f"op{i}")
+        prev = f"op{i}"
+    return g
+
+
+class TestASAP:
+    def test_pcr_asap_starts(self):
+        g = build_pcr_mixing_graph()
+        s = asap_schedule(g, PCR_DURATIONS)
+        assert s.start("M1") == 0 and s.start("M4") == 0
+        assert s.start("M5") == 10  # waits for M1
+        assert s.start("M6") == 6   # waits for M3
+        assert s.start("M7") == 16
+        assert s.makespan == 19
+
+    def test_asap_equals_critical_path(self):
+        g = build_pcr_mixing_graph()
+        s = asap_schedule(g, PCR_DURATIONS)
+        assert s.makespan == g.critical_path_length(PCR_DURATIONS)
+
+    def test_missing_duration(self):
+        g = chain(2)
+        with pytest.raises(ScheduleError):
+            asap_schedule(g, {"op0": 1.0})
+
+    def test_nonpositive_duration(self):
+        g = chain(2)
+        with pytest.raises(ScheduleError):
+            asap_schedule(g, {"op0": 1.0, "op1": 0.0})
+
+
+class TestALAP:
+    def test_alap_meets_deadline(self):
+        g = build_pcr_mixing_graph()
+        s = alap_schedule(g, PCR_DURATIONS, deadline=25)
+        assert s.makespan == 25
+        s.validate_precedence(g)
+
+    def test_alap_default_deadline_is_critical_path(self):
+        g = build_pcr_mixing_graph()
+        s = alap_schedule(g, PCR_DURATIONS)
+        assert s.makespan == 19
+
+    def test_critical_ops_coincide_with_asap(self):
+        g = build_pcr_mixing_graph()
+        asap = asap_schedule(g, PCR_DURATIONS)
+        alap = alap_schedule(g, PCR_DURATIONS)
+        for op in g.critical_path(PCR_DURATIONS):
+            assert asap.start(op) == alap.start(op)
+
+    def test_infeasible_deadline(self):
+        g = build_pcr_mixing_graph()
+        with pytest.raises(ScheduleError):
+            alap_schedule(g, PCR_DURATIONS, deadline=10)
+
+    def test_asap_never_later_than_alap(self):
+        g = build_pcr_mixing_graph()
+        asap = asap_schedule(g, PCR_DURATIONS)
+        alap = alap_schedule(g, PCR_DURATIONS)
+        for op in g:
+            assert asap.start(op.id) <= alap.start(op.id)
+
+
+class TestListSchedule:
+    def test_unconstrained_matches_asap(self):
+        g = build_pcr_mixing_graph()
+        ls = list_schedule(g, PCR_DURATIONS)
+        asap = asap_schedule(g, PCR_DURATIONS)
+        for op in g:
+            assert ls.start(op.id) == asap.start(op.id)
+
+    def test_concurrency_cap_respected(self):
+        g = build_pcr_mixing_graph()
+        s = list_schedule(g, PCR_DURATIONS, max_concurrent_ops=2)
+        assert s.max_concurrency() <= 2
+        s.validate_precedence(g)
+
+    def test_cap_three_gives_paper_consistent_schedule(self):
+        g = build_pcr_mixing_graph()
+        footprints = {"M1": 16, "M2": 18, "M3": 20, "M4": 18, "M5": 18, "M6": 16, "M7": 24}
+        s = list_schedule(
+            g, PCR_DURATIONS, max_concurrent_ops=3,
+            cell_capacity=63, footprints=footprints,
+        )
+        assert s.peak_cell_demand(footprints) <= 63
+        assert s.makespan == 19  # no makespan penalty vs ASAP
+        s.validate_precedence(g)
+
+    def test_cell_capacity_respected(self):
+        g = build_pcr_mixing_graph()
+        footprints = {"M1": 16, "M2": 18, "M3": 20, "M4": 18, "M5": 18, "M6": 16, "M7": 24}
+        s = list_schedule(g, PCR_DURATIONS, cell_capacity=40, footprints=footprints)
+        assert s.peak_cell_demand(footprints) <= 40
+        s.validate_precedence(g)
+
+    def test_cell_capacity_requires_footprints(self):
+        g = build_pcr_mixing_graph()
+        with pytest.raises(ScheduleError):
+            list_schedule(g, PCR_DURATIONS, cell_capacity=40)
+
+    def test_single_op_exceeding_capacity(self):
+        g = build_pcr_mixing_graph()
+        footprints = {op: 30 for op in PCR_DURATIONS}
+        with pytest.raises(ScheduleError):
+            list_schedule(g, PCR_DURATIONS, cell_capacity=20, footprints=footprints)
+
+    def test_invalid_cap(self):
+        g = chain(2)
+        with pytest.raises(ScheduleError):
+            list_schedule(g, {"op0": 1, "op1": 1}, max_concurrent_ops=0)
+
+    def test_priority_is_remaining_path(self):
+        g = build_pcr_mixing_graph()
+        prio = remaining_path_lengths(g, PCR_DURATIONS)
+        # M3 -> M6 -> M7 = 19 is the critical chain.
+        assert prio["M3"] == 19
+        assert prio["M1"] == 18
+        assert prio["M7"] == 3
+
+    def test_cap_one_serializes_everything(self):
+        g = build_pcr_mixing_graph()
+        s = list_schedule(g, PCR_DURATIONS, max_concurrent_ops=1)
+        assert s.max_concurrency() == 1
+        assert s.makespan == sum(PCR_DURATIONS.values())
+
+    @given(cap=st.integers(1, 7))
+    def test_any_cap_preserves_precedence(self, cap):
+        g = build_pcr_mixing_graph()
+        s = list_schedule(g, PCR_DURATIONS, max_concurrent_ops=cap)
+        s.validate_precedence(g)
+
+
+class TestScheduleContainer:
+    def make(self) -> Schedule:
+        return Schedule({
+            "a": Interval(0, 5), "b": Interval(5, 9), "c": Interval(2, 7),
+        })
+
+    def test_lookup(self):
+        s = self.make()
+        assert s.interval("a") == Interval(0, 5)
+        assert s.start("b") == 5 and s.stop("b") == 9
+
+    def test_missing_op(self):
+        with pytest.raises(ScheduleError):
+            self.make().interval("zzz")
+
+    def test_items_sorted_by_start(self):
+        assert [op for op, _ in self.make().items()] == ["a", "c", "b"]
+
+    def test_makespan(self):
+        assert self.make().makespan == 9
+
+    def test_event_times(self):
+        assert self.make().event_times() == [0, 2, 5, 7, 9]
+
+    def test_active_at(self):
+        s = self.make()
+        assert s.active_at(3) == ["a", "c"]
+        assert s.active_at(5) == ["b", "c"]  # half-open: a retired
+
+    def test_concurrency_profile(self):
+        s = self.make()
+        profile = dict(s.concurrency_profile())
+        assert profile[0] == 1 and profile[2] == 2 and profile[9] == 0
+
+    def test_cell_demand_profile(self):
+        s = self.make()
+        demand = dict(s.cell_demand_profile({"a": 10, "b": 20, "c": 5}))
+        assert demand[2] == 15
+        assert demand[5] == 25
+
+    def test_precedence_validation_failure(self):
+        g = chain(2)
+        bad = Schedule({"op0": Interval(0, 5), "op1": Interval(3, 6)})
+        with pytest.raises(ScheduleError, match="precedence"):
+            bad.validate_precedence(g)
+
+    def test_precedence_needs_all_ops(self):
+        g = chain(2)
+        partial = Schedule({"op0": Interval(0, 5)})
+        with pytest.raises(ScheduleError):
+            partial.validate_precedence(g)
+
+    def test_integerized_snaps_floats(self):
+        s = Schedule({"a": Interval(0.0000000001, 4.9999999999)})
+        snapped = integerized(s)
+        assert snapped.interval("a") == Interval(0, 5)

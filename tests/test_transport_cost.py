@@ -1,0 +1,101 @@
+"""Tests for the transport-aware placement cost extension."""
+
+import pytest
+
+from repro.assay.protocols.pcr import build_pcr_mixing_graph
+from repro.modules.library import MIXER_2X2
+from repro.placement.annealer import AnnealingParams
+from repro.placement.cost import AreaCost
+from repro.placement.model import PlacedModule, Placement
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.placement.transport import TransportAwareCost
+
+
+def pm(op, x=1, y=1, start=0.0, stop=10.0):
+    return PlacedModule(op_id=op, spec=MIXER_2X2, x=x, y=y, start=start, stop=stop)
+
+
+@pytest.fixture()
+def graph():
+    return build_pcr_mixing_graph()
+
+
+class TestTransportDistance:
+    def test_zero_when_producer_consumer_colocated(self, graph):
+        cost = TransportAwareCost(graph)
+        p = Placement(12, 12)
+        p.add(pm("M1", x=1, y=1, start=0, stop=10))
+        p.add(pm("M5", x=1, y=1, start=10, stop=15))  # reuses M1's cells
+        assert cost.transport_distance(p) == 0
+
+    def test_distance_counts_each_edge(self, graph):
+        cost = TransportAwareCost(graph)
+        p = Placement(20, 20)
+        p.add(pm("M1", x=1, y=1, start=0, stop=10))
+        p.add(pm("M2", x=1, y=1, start=10, stop=15))
+        p.add(pm("M5", x=9, y=1, start=15, stop=20))
+        # M1->M5 and M2->M5 each span 8 columns center-to-center.
+        assert cost.transport_distance(p) == 16
+
+    def test_unplaced_endpoints_ignored(self, graph):
+        cost = TransportAwareCost(graph)
+        p = Placement(12, 12)
+        p.add(pm("M1"))
+        assert cost.transport_distance(p) == 0
+
+    def test_negative_weight_rejected(self, graph):
+        with pytest.raises(ValueError):
+            TransportAwareCost(graph, transport_weight=-1.0)
+
+
+class TestCostComposition:
+    def test_reduces_to_area_cost_at_zero_weight(self, graph):
+        p = Placement(20, 20)
+        p.add(pm("M1", x=1, y=1, start=0, stop=10))
+        p.add(pm("M5", x=9, y=9, start=10, stop=15))
+        base = AreaCost()
+        transport_free = TransportAwareCost(graph, transport_weight=0.0)
+        assert transport_free(p) == pytest.approx(base(p))
+
+    def test_long_hauls_cost_more(self, graph):
+        cost = TransportAwareCost(graph, transport_weight=1.0)
+        near = Placement(20, 20)
+        near.add(pm("M1", x=1, y=1, start=0, stop=10))
+        near.add(pm("M5", x=1, y=5, start=10, stop=15))
+        far = Placement(20, 20)
+        far.add(pm("M1", x=1, y=1, start=0, stop=10))
+        far.add(pm("M5", x=1, y=17, start=10, stop=15))
+        # Equalize the area term by anchoring both bounding boxes.
+        anchor_near = pm("M7", x=17, y=17, start=16, stop=19)
+        anchor_far = pm("M7", x=17, y=17, start=16, stop=19)
+        near.add(anchor_near)
+        far.add(anchor_far)
+        assert near.area_cells == far.area_cells
+        assert cost(near) < cost(far)
+
+
+class TestTransportAwarePlacement:
+    def test_placer_accepts_transport_cost(self, graph, pcr):
+        placer = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(),
+            cost=TransportAwareCost(graph),
+            seed=31,
+        )
+        result = placer.place(pcr.schedule, pcr.binding)
+        result.placement.validate()
+
+    def test_transport_weight_reduces_haul(self, graph, pcr):
+        """Weighted placement should induce no *more* transport than the
+        area-only one (usually strictly less)."""
+        area_only = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(), seed=31
+        ).place(pcr.schedule, pcr.binding)
+        transport_aware = SimulatedAnnealingPlacer(
+            params=AnnealingParams.fast(),
+            cost=TransportAwareCost(graph, transport_weight=0.8),
+            seed=31,
+        ).place(pcr.schedule, pcr.binding)
+        meter = TransportAwareCost(graph)
+        assert meter.transport_distance(
+            transport_aware.placement
+        ) <= meter.transport_distance(area_only.placement)

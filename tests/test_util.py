@@ -1,0 +1,85 @@
+"""Tests for shared utilities (rng plumbing, tables, errors)."""
+
+import random
+
+import pytest
+
+from repro.util.errors import (
+    BindingError,
+    PlacementError,
+    ReconfigurationError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.tables import format_table
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_rng(self):
+        rng = ensure_rng(None)
+        assert isinstance(rng, random.Random)
+
+    def test_int_seed_is_reproducible(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        # True is an int subtype; seeding with it is almost always a bug.
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rng_is_independent(self):
+        parent = ensure_rng(7)
+        child = spawn_rng(parent)
+        a = [child.random() for _ in range(3)]
+        # Re-derive from the same parent state: same child stream.
+        parent2 = ensure_rng(7)
+        child2 = spawn_rng(parent2)
+        assert a == [child2.random() for _ in range(3)]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="T")
+        assert out.startswith("T\n")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_cells_stringified(self):
+        out = format_table(("v",), [(1.5,), (None,)])
+        assert "1.5" in out and "None" in out
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "err",
+        [
+            BindingError,
+            PlacementError,
+            ReconfigurationError,
+            RoutingError,
+            ScheduleError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, err):
+        assert issubclass(err, ReproError)
+        with pytest.raises(ReproError):
+            raise err("boom")
