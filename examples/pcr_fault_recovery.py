@@ -10,12 +10,7 @@ late but chemically intact.
 Run:  python examples/pcr_fault_recovery.py
 """
 
-from repro import (
-    PCR_BINDING,
-    AnnealingParams,
-    SimulatedAnnealingPlacer,
-    build_pcr_mixing_graph,
-)
+from repro import AnnealingParams, SimulatedAnnealingPlacer
 from repro.experiments.pcr import pcr_case_study
 from repro.grid.array import MicrofluidicArray
 from repro.sim.engine import BiochipSimulator

@@ -50,6 +50,15 @@ from repro.placement.model import PlacedModule, Placement
 from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
 from repro.placement.transport import TransportAwareCost
 from repro.placement.two_stage import TwoStagePlacer, TwoStageResult
+from repro.routing import (
+    Net,
+    PrioritizedRouter,
+    RoutedNet,
+    RoutingEpoch,
+    RoutingPlan,
+    RoutingSynthesizer,
+    TimeGrid,
+)
 from repro.synthesis.binder import Binding, ResourceBinder
 from repro.synthesis.flow import SynthesisFlow, SynthesisResult
 from repro.synthesis.schedule import Schedule
@@ -81,6 +90,7 @@ __all__ = [
     "ModuleKind",
     "ModuleLibrary",
     "ModuleSpec",
+    "Net",
     "OccupancyGrid",
     "Operation",
     "OperationType",
@@ -92,12 +102,17 @@ __all__ = [
     "PlacementResult",
     "Point",
     "Port",
+    "PrioritizedRouter",
     "ReconfigurationError",
     "ReconfigurationPlan",
     "Rect",
     "ReproError",
     "ResourceBinder",
+    "RoutedNet",
+    "RoutingEpoch",
     "RoutingError",
+    "RoutingPlan",
+    "RoutingSynthesizer",
     "Schedule",
     "ScheduleError",
     "SequencingGraph",
@@ -106,6 +121,7 @@ __all__ = [
     "SimulationError",
     "SynthesisFlow",
     "SynthesisResult",
+    "TimeGrid",
     "ToleranceAnalyzer",
     "TransportAwareCost",
     "TwoStagePlacer",

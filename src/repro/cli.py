@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's day-to-day uses without writing code:
+Five commands cover the library's day-to-day uses without writing code:
 
 * ``flow`` — synthesize a built-in protocol end to end and print the
   schedule, placement, and FTI analysis.
+* ``route`` — synthesize with the concurrent droplet-routing stage and
+  print the verified per-net routing plan.
 * ``sweep`` — the Table 2 beta sweep.
 * ``experiments`` — the full paper-vs-measured report.
 * ``explore`` — architectural design-space exploration (binding
@@ -15,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.assay.protocols.dilution import build_serial_dilution_graph
 from repro.assay.protocols.glucose import build_multiplexed_diagnostics_graph
 from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
@@ -35,19 +38,11 @@ def _params(fast: bool) -> AnnealingParams:
 
 
 def cmd_flow(args: argparse.Namespace) -> int:
-    from repro.placement.sa_placer import SimulatedAnnealingPlacer
-    from repro.placement.two_stage import TwoStagePlacer
     from repro.synthesis.flow import SynthesisFlow
     from repro.viz.ascii_art import render_fti_map, render_gantt, render_placement
 
     graph, binding = PROTOCOLS[args.protocol]()
-    if args.beta is not None:
-        placer = TwoStagePlacer(
-            beta=args.beta, stage1_params=_params(args.fast), seed=args.seed
-        )
-    else:
-        placer = SimulatedAnnealingPlacer(params=_params(args.fast), seed=args.seed)
-    flow = SynthesisFlow(placer=placer, max_concurrent_ops=args.max_concurrent)
+    flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
     result = flow.run(graph, explicit_binding=binding)
 
     print(render_gantt(result.schedule))
@@ -58,6 +53,55 @@ def cmd_flow(args: argparse.Namespace) -> int:
         print(render_fti_map(result.fti_report))
         print()
     print(result.summary())
+    return 0
+
+
+def _placer(args: argparse.Namespace):
+    from repro.placement.sa_placer import SimulatedAnnealingPlacer
+    from repro.placement.two_stage import TwoStagePlacer
+
+    if getattr(args, "beta", None) is not None:
+        return TwoStagePlacer(
+            beta=args.beta, stage1_params=_params(args.fast), seed=args.seed
+        )
+    return SimulatedAnnealingPlacer(params=_params(args.fast), seed=args.seed)
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from repro.synthesis.flow import SynthesisFlow
+    from repro.util.errors import RoutingError
+
+    graph, binding = PROTOCOLS[args.protocol]()
+    flow = SynthesisFlow(
+        placer=_placer(args),
+        max_concurrent_ops=args.max_concurrent,
+        route=True,
+    )
+    result = flow.run(
+        graph,
+        explicit_binding=binding,
+        faulty_cells=[tuple(f) for f in args.faulty or ()],
+    )
+    plan = result.routing_plan
+    print(plan.table_text())
+    print()
+    try:
+        plan.verify()
+        print("verification: conflict-free "
+              "(fluidic spacing, module footprints, faulty cells)")
+    except RoutingError as exc:
+        print(f"verification FAILED: {exc}")
+        return 1
+    print()
+    print(result.summary())
+    if plan.failed_count:
+        # The routed subset verified, but the plan is incomplete — make
+        # that visible to scripts gating on this command's exit status.
+        print(
+            f"WARNING: {plan.failed_count} net(s) UNROUTED; the simulator "
+            "will fall back to per-droplet A* for them"
+        )
+        return 1
     return 0
 
 
@@ -104,14 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fault-tolerant DMFB CAD (Su & Chakrabarty, DATE 2005)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     flow = sub.add_parser("flow", help="synthesize a protocol end to end")
-    flow.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
-    flow.add_argument("--beta", type=float, default=None,
-                      help="enable the fault-aware two-stage placer at this beta")
-    flow.add_argument("--max-concurrent", type=int, default=3)
     flow.set_defaults(func=cmd_flow)
+
+    route = sub.add_parser(
+        "route", help="synthesize with the concurrent droplet-routing stage"
+    )
+    route.add_argument(
+        "--faulty", action="append", nargs=2, type=int, metavar=("X", "Y"),
+        help="known-defective cell the routing plan must avoid (repeatable)",
+    )
+    route.set_defaults(func=cmd_route)
+
+    for p in (flow, route):
+        p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
+        p.add_argument("--beta", type=float, default=None,
+                       help="enable the fault-aware two-stage placer at this beta")
+        p.add_argument("--max-concurrent", type=int, default=3)
 
     sweep = sub.add_parser("sweep", help="Table 2 beta sweep")
     sweep.set_defaults(func=cmd_sweep)
@@ -124,12 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
     explore.set_defaults(func=cmd_explore)
 
-    for p in (flow, sweep, exps, explore):
+    for p in (flow, route, sweep, exps, explore):
         p.add_argument("--seed", type=int, default=7)
-        p.add_argument("--fast", action="store_true", default=True,
-                       help="small annealing preset (default)")
-        p.add_argument("--full", dest="fast", action="store_false",
-                       help="larger annealing preset")
+        p.add_argument(
+            "--fast",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="use the small annealing preset (default; "
+                 "--no-fast selects the larger, slower preset)",
+        )
     return parser
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.fault.fti import FTIReport, compute_fti
-from repro.placement.annealer import AnnealingParams, AnnealingStats, SimulatedAnnealing
+from repro.placement.annealer import AnnealingParams, SimulatedAnnealing
 from repro.placement.cost import DEFAULT_FT_GAMMA, AreaCost, FaultAwareCost
 from repro.placement.greedy import build_placed_modules
 from repro.placement.legalize import repair_overlaps

@@ -1,0 +1,392 @@
+"""Routing-plan data model: nets, routed trajectories, verification.
+
+A *net* is one droplet-transport request of the synthesized assay: move
+the product of a producer operation from its parking cell to an input
+cell of a consumer module. The prioritized router turns nets into
+:class:`RoutedNet` trajectories — per-timestep positions including
+wait-in-place steps — grouped into :class:`RoutingEpoch` batches (all
+nets released at one schedule instant, routed concurrently). The
+:class:`RoutingPlan` bundles the epochs and *proves* the result safe:
+:meth:`RoutingPlan.verify` re-checks every constraint from scratch,
+independent of the router that produced the plan.
+
+Fluidic-constraint conventions (Su/Chakrabarty/Pamula):
+
+* two unrelated droplets must never be within one cell of each other
+  (Chebyshev distance >= 2), at the same timestep *and* across
+  consecutive timesteps (the dynamic constraint);
+* droplets feeding the *same* consumer are allowed to close in on each
+  other once both are inside that consumer's footprint — merging is the
+  operation's first phase;
+* shares split from the *same* producer may coexist inside the
+  producer's footprint — the split happens there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.geometry import Point, Rect
+from repro.util.errors import RoutingError
+from repro.util.tables import format_table
+
+
+def chebyshev(a: Point, b: Point) -> int:
+    """Chebyshev (L-infinity) distance; the fluidic constraint requires >= 2."""
+    return max(abs(a.x - b.x), abs(a.y - b.y))
+
+
+@dataclass(frozen=True)
+class Net:
+    """One routing request: move a droplet from *source* to *goal*."""
+
+    net_id: str
+    source: Point
+    goal: Point
+    #: Operation whose product this droplet is (split zone), if any.
+    producer: str | None = None
+    #: Operation that will consume this droplet (merge zone), if any.
+    consumer: str | None = None
+    #: Schedule criticality; larger routes first.
+    priority: float = 0.0
+
+    @property
+    def manhattan(self) -> int:
+        """Lower bound on route length (moves)."""
+        return self.source.manhattan_distance(self.goal)
+
+    @property
+    def exempt_ops(self) -> frozenset[str]:
+        """Module owners whose footprints this net may enter."""
+        return frozenset(o for o in (self.producer, self.consumer) if o is not None)
+
+    def __str__(self) -> str:
+        return f"{self.net_id}: {self.source}->{self.goal}"
+
+
+@dataclass(frozen=True)
+class RoutedNet:
+    """A net with its time-annotated trajectory.
+
+    ``cells[i]`` is the droplet's position at epoch-local step
+    ``start_step + i``; consecutive entries are either equal (a
+    wait-in-place step) or 4-adjacent (one electrode actuation).
+    """
+
+    net: Net
+    cells: tuple[Point, ...]
+    start_step: int = 0
+
+    @property
+    def arrival_step(self) -> int:
+        """Epoch-local step at which the droplet reaches its goal."""
+        return self.start_step + len(self.cells) - 1
+
+    @property
+    def latency(self) -> int:
+        """Steps from release to arrival (moves + waits)."""
+        return len(self.cells) - 1
+
+    @cached_property
+    def moves(self) -> int:
+        """Actuation steps (cell-to-cell moves, waits excluded)."""
+        return sum(1 for a, b in zip(self.cells, self.cells[1:]) if a != b)
+
+    @property
+    def waits(self) -> int:
+        """Wait-in-place steps spent yielding to other traffic."""
+        return self.latency - self.moves
+
+    def position_at(self, step: int) -> Point:
+        """Droplet position at epoch-local *step* (clamped to lifetime:
+        at the source before departure, parked at the goal after
+        arrival)."""
+        i = min(max(step - self.start_step, 0), len(self.cells) - 1)
+        return self.cells[i]
+
+
+@dataclass(frozen=True)
+class RoutingEpoch:
+    """All nets released at one schedule instant, routed concurrently.
+
+    Epochs are sequential — droplets of different epochs never coexist —
+    so each epoch carries its own obstacle context: the module
+    footprints active at that instant, known faulty cells, and parked
+    product droplets not participating in this epoch.
+    """
+
+    #: Schedule instant (seconds) whose transports this epoch realizes.
+    time_s: float
+    #: Global step at which this epoch's step 0 occurs.
+    step_offset: int
+    nets: tuple[RoutedNet, ...]
+    failed: tuple[Net, ...] = ()
+    #: Active module obstacles: (footprint, owner op id).
+    modules: tuple[tuple[Rect, str], ...] = ()
+    #: Merge/split exemption zones: (op id, footprint) for every
+    #: producer/consumer of this epoch's nets.
+    regions: tuple[tuple[str, Rect], ...] = ()
+    faulty: frozenset[Point] = frozenset()
+    parked: frozenset[Point] = frozenset()
+
+    @property
+    def makespan_steps(self) -> int:
+        """Last arrival step (0 when the epoch routed nothing)."""
+        return max((rn.arrival_step for rn in self.nets), default=0)
+
+    @cached_property
+    def _region_map(self) -> dict[str, list[Rect]]:
+        out: dict[str, list[Rect]] = {}
+        for op_id, rect in self.regions:
+            out.setdefault(op_id, []).append(rect)
+        return out
+
+    def in_region(self, op_id: str | None, cell: Point) -> bool:
+        """True if *cell* lies inside any of op's registered zones."""
+        if op_id is None:
+            return False
+        return any(
+            r.contains_point(cell) for r in self._region_map.get(op_id, ())
+        )
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """A complete, verifiable routing of one synthesized assay."""
+
+    width: int
+    height: int
+    epochs: tuple[RoutingEpoch, ...]
+    #: Boundary-lane width the synthesizer padded around the core area;
+    #: plan coordinates are placement coordinates shifted by this much.
+    margin: int = 0
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def nets(self) -> list[RoutedNet]:
+        """All routed nets, epoch order."""
+        return [rn for epoch in self.epochs for rn in epoch.nets]
+
+    @property
+    def failed(self) -> list[Net]:
+        """Nets the router could not realize."""
+        return [net for epoch in self.epochs for net in epoch.failed]
+
+    @property
+    def routed_count(self) -> int:
+        return sum(len(e.nets) for e in self.epochs)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(len(e.failed) for e in self.epochs)
+
+    @property
+    def routability(self) -> float:
+        """Fraction of nets routed (1.0 for an empty plan)."""
+        total = self.routed_count + self.failed_count
+        return 1.0 if total == 0 else self.routed_count / total
+
+    @property
+    def makespan_steps(self) -> int:
+        """Total routing steps with epochs laid end to end."""
+        return sum(e.makespan_steps for e in self.epochs)
+
+    @property
+    def total_route_steps(self) -> int:
+        """Total actuation steps (moves) over all nets."""
+        return sum(rn.moves for rn in self.nets)
+
+    @property
+    def total_wait_steps(self) -> int:
+        """Total wait-in-place steps over all nets."""
+        return sum(rn.waits for rn in self.nets)
+
+    @property
+    def max_net_latency(self) -> int:
+        """Worst single-net release-to-arrival latency, in steps."""
+        return max((rn.latency for rn in self.nets), default=0)
+
+    @cached_property
+    def _by_edge(self) -> dict[tuple[str | None, str | None], RoutedNet]:
+        # First epoch wins on key collisions: a dependency edge routes
+        # once, but a producer holding across several epochs emits one
+        # (producer, None) hold net per epoch, and replay wants the
+        # parking spot modeled right after the producer finishes.
+        out: dict[tuple[str | None, str | None], RoutedNet] = {}
+        for rn in self.nets:
+            out.setdefault((rn.net.producer, rn.net.consumer), rn)
+        return out
+
+    def net_for(self, producer: str | None, consumer: str | None) -> RoutedNet | None:
+        """The routed net realizing dependency edge producer -> consumer."""
+        return self._by_edge.get((producer, consumer))
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self) -> None:
+        """Prove the plan conflict-free; raise :class:`RoutingError` if not.
+
+        Checked per epoch, from scratch (independent of the router):
+
+        * trajectory sanity — in bounds, endpoints match the net,
+          consecutive positions equal or 4-adjacent;
+        * no droplet on a faulty cell, within one cell of a parked
+          droplet, or on an active module footprint it does not own;
+        * no two droplets within one cell of each other at any step,
+          nor across consecutive steps (dynamic constraint), except
+          inside a shared merge/split zone;
+        * failed nets' droplets are not forgotten — each strands at its
+          source for the whole epoch and every routed trajectory must
+          keep its distance from it.
+        """
+        for epoch in self.epochs:
+            module_cells: dict[Point, set[str]] = {}
+            for rect, owner in epoch.modules:
+                for cell in rect.cells():
+                    module_cells.setdefault(cell, set()).add(owner)
+            for rn in epoch.nets:
+                self._verify_trajectory(epoch, rn, module_cells)
+            # A failed net's droplet sits at its source all epoch; its
+            # own position is not a routing decision (no trajectory
+            # checks), but routed traffic must still avoid it.
+            stranded = [RoutedNet(net, (net.source,)) for net in epoch.failed]
+            nets = list(epoch.nets)
+            for i, a in enumerate(nets):
+                for b in nets[i + 1 :]:
+                    self._verify_pair(epoch, a, b)
+                for s in stranded:
+                    self._verify_pair(epoch, a, s)
+
+    def _verify_trajectory(
+        self,
+        epoch: RoutingEpoch,
+        rn: RoutedNet,
+        module_cells: dict[Point, set[str]],
+    ) -> None:
+        net = rn.net
+        if not rn.cells:
+            raise RoutingError(f"net {net.net_id}: empty trajectory")
+        if rn.cells[0] != net.source or rn.cells[-1] != net.goal:
+            raise RoutingError(
+                f"net {net.net_id}: trajectory endpoints {rn.cells[0]}->{rn.cells[-1]} "
+                f"do not match net {net.source}->{net.goal}"
+            )
+        exempt = net.exempt_ops
+        for i, p in enumerate(rn.cells):
+            step = rn.start_step + i
+            if not (1 <= p.x <= self.width and 1 <= p.y <= self.height):
+                raise RoutingError(
+                    f"net {net.net_id}: {p} at step {step} is outside the "
+                    f"{self.width}x{self.height} array"
+                )
+            if i > 0 and rn.cells[i - 1].manhattan_distance(p) > 1:
+                raise RoutingError(
+                    f"net {net.net_id}: jump {rn.cells[i - 1]} -> {p} at step {step}"
+                )
+            if p in epoch.faulty:
+                raise RoutingError(
+                    f"net {net.net_id}: crosses faulty cell {p} at step {step}"
+                )
+            owners = module_cells.get(p)
+            if owners and not owners <= exempt:
+                culprit = sorted(owners - exempt)[0]
+                raise RoutingError(
+                    f"net {net.net_id}: on active module {culprit!r} footprint "
+                    f"at {p}, step {step}"
+                )
+            if p == net.source:
+                # The droplet's own parking spot is grandfathered: it
+                # may pre-date a neighboring parked droplet, and routing
+                # can only move it away from there.
+                continue
+            for q in epoch.parked:
+                if chebyshev(p, q) <= 1:
+                    raise RoutingError(
+                        f"net {net.net_id}: within one cell of parked droplet "
+                        f"{q} at {p}, step {step}"
+                    )
+
+    def _verify_pair(self, epoch: RoutingEpoch, a: RoutedNet, b: RoutedNet) -> None:
+        last = max(a.arrival_step, b.arrival_step)
+        for t in range(min(a.start_step, b.start_step), last + 1):
+            pa, pb = a.position_at(t), b.position_at(t)
+            # Same-step static constraint plus the cross-step dynamic
+            # constraint (droplet moving next to where the other just was).
+            for qa, qb in ((pa, pb), (a.position_at(t + 1), pb), (pa, b.position_at(t + 1))):
+                if chebyshev(qa, qb) > 1:
+                    continue
+                if self._merge_exempt(epoch, a.net, b.net, qa, qb):
+                    continue
+                if self._split_parking_exempt(a.net, b.net, qa, qb):
+                    continue
+                raise RoutingError(
+                    f"nets {a.net.net_id} and {b.net.net_id} violate the "
+                    f"fluidic constraint near step {t}: {qa} vs {qb}"
+                )
+
+    @staticmethod
+    def _split_parking_exempt(a: Net, b: Net, pa: Point, pb: Point) -> bool:
+        """Grandfather the departure transient of two products that were
+        *parked adjacent* (a placement artifact: neighboring functional
+        centers). While both droplets are still within one cell of their
+        own parking spots, their mutual proximity pre-dates routing and
+        cannot be routed away — it ends the moment both have left.
+        Co-location (distance 0) is never excused: adjacent parking
+        explains closeness, not two droplets in one cell."""
+        return (
+            chebyshev(pa, pb) >= 1
+            and chebyshev(a.source, b.source) <= 1
+            and chebyshev(pa, a.source) <= 1
+            and chebyshev(pb, b.source) <= 1
+        )
+
+    @staticmethod
+    def _merge_exempt(epoch: RoutingEpoch, a: Net, b: Net, pa: Point, pb: Point) -> bool:
+        if a.consumer is not None and a.consumer == b.consumer:
+            if epoch.in_region(a.consumer, pa) and epoch.in_region(a.consumer, pb):
+                return True
+        if a.producer is not None and a.producer == b.producer:
+            if epoch.in_region(a.producer, pa) and epoch.in_region(a.producer, pb):
+                return True
+        return False
+
+    # -- reporting -----------------------------------------------------------
+
+    def table_text(self) -> str:
+        """Per-net table: edge, epoch, moves, waits, latency."""
+        rows = []
+        for epoch in self.epochs:
+            for rn in epoch.nets:
+                rows.append(
+                    (
+                        rn.net.net_id,
+                        f"t={epoch.time_s:g}s",
+                        f"{rn.net.source}->{rn.net.goal}",
+                        rn.moves,
+                        rn.waits,
+                        rn.latency,
+                    )
+                )
+            for net in epoch.failed:
+                rows.append(
+                    (net.net_id, f"t={epoch.time_s:g}s", f"{net.source}->{net.goal}",
+                     "-", "-", "UNROUTED")
+                )
+        return format_table(
+            ("net", "epoch", "route", "moves", "waits", "latency"), rows
+        )
+
+    def summary(self) -> str:
+        """One-line account used by the synthesis-flow report."""
+        return (
+            f"{self.routed_count} nets in {len(self.epochs)} epochs, "
+            f"{self.total_route_steps} route steps "
+            f"(+{self.total_wait_steps} waits), "
+            f"max latency {self.max_net_latency} steps, "
+            f"routability {self.routability:.0%}"
+        )
+
+    def __str__(self) -> str:
+        return f"RoutingPlan({self.summary()})"

@@ -1,0 +1,234 @@
+"""Prioritized time-expanded A* for concurrent droplet routing.
+
+Nets are routed one at a time in criticality order (schedule-critical
+nets first, longer hauls first on ties), each over the *time-expanded*
+grid: states are ``(cell, step)`` pairs, moves are the four cell
+neighbors plus wait-in-place, and every routed trajectory is reserved
+in the :class:`~repro.routing.timegrid.TimeGrid` so later nets detour
+or stall around it.
+
+Unrouted droplets are not invisible: before a round starts, every
+net's source is provisionally reserved as a parked droplet, so early
+nets cannot plow through a droplet that has not moved yet.
+
+When a net cannot be routed, the scheduler *negotiates*: the failed
+net's priority is aged upward and the whole batch is re-routed in the
+new order, up to ``max_rounds`` times. A net that still fails either
+raises :class:`~repro.util.errors.RoutingError` (``strict``) or is
+reported as failed alongside the routed rest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.geometry import Point
+from repro.routing.plan import Net, RoutedNet, chebyshev
+from repro.routing.timegrid import TimeGrid
+from repro.util.errors import RoutingError
+
+#: Priority boost added per failed round — large enough to outrank any
+#: schedule-derived criticality, so starved nets jump the queue.
+DEFAULT_AGING = 1_000.0
+
+
+class PrioritizedRouter:
+    """Schedule-criticality prioritized router with bounded negotiation."""
+
+    def __init__(
+        self,
+        max_rounds: int = 4,
+        aging: float = DEFAULT_AGING,
+        strict: bool = True,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self.aging = aging
+        self.strict = strict
+
+    # -- batch interface -----------------------------------------------------
+
+    def default_horizon(self, grid: TimeGrid, nets: Sequence[Net]) -> int:
+        """Step budget for one epoch: worst single haul plus congestion
+        slack per net."""
+        longest = max((n.manhattan for n in nets), default=0)
+        return max(16, longest + grid.width + grid.height + 8 * len(nets))
+
+    def route_all(
+        self,
+        nets: Iterable[Net],
+        grid: TimeGrid,
+        horizon: int | None = None,
+        strict: bool | None = None,
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        """Route a batch concurrently; returns ``(routed, failed)``.
+
+        The grid is left holding the reservations of the returned
+        ``routed`` set, so a compaction pass can pick up where the
+        negotiation ended.
+        """
+        strict = self.strict if strict is None else strict
+        nets = list(nets)
+        if not nets:
+            return [], []
+        ids = [n.net_id for n in nets]
+        if len(set(ids)) != len(ids):
+            raise ValueError("net ids within a batch must be unique")
+        if horizon is None:
+            horizon = self.default_horizon(grid, nets)
+
+        failures = dict.fromkeys(ids, 0)
+
+        def ordered() -> list[Net]:
+            return sorted(
+                nets,
+                key=lambda n: (
+                    -(n.priority + self.aging * failures[n.net_id]),
+                    -n.manhattan,
+                    n.net_id,
+                ),
+            )
+
+        best: tuple[list[RoutedNet], list[Net]] | None = None
+        for _ in range(self.max_rounds):
+            order = ordered()
+            routed, failed = self._route_round(order, grid, horizon)
+            if not failed:
+                return routed, []
+            if best is None or len(failed) < len(best[1]):
+                best = (routed, failed)
+            for net in failed:
+                failures[net.net_id] += 1
+                # Yield negotiation: a net whose droplet starts walled
+                # in by a neighbor's still-parked droplet cannot be
+                # helped by promoting itself — the *neighbor* must route
+                # first and clear the way. Boost the trappers harder
+                # than the trapped.
+                for other in nets:
+                    if (
+                        other.net_id != net.net_id
+                        and chebyshev(other.source, net.source) <= 2
+                    ):
+                        failures[other.net_id] += 2
+        assert best is not None
+        routed, failed = best
+        # Leave the grid consistent with the round being returned —
+        # rebuild the reservations directly rather than re-running
+        # every A* search of the best round.
+        grid.clear_reservations()
+        for net in failed:
+            grid.reserve(RoutedNet(net, (net.source,)), horizon)
+        for rn in routed:
+            grid.reserve(rn, horizon)
+        if strict:
+            names = ", ".join(n.net_id for n in failed)
+            raise RoutingError(
+                f"{len(failed)} net(s) unroutable after {self.max_rounds} "
+                f"negotiation rounds: {names}"
+            )
+        return routed, failed
+
+    def _route_round(
+        self, order: Sequence[Net], grid: TimeGrid, horizon: int
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        grid.clear_reservations()
+        for net in order:
+            grid.reserve(RoutedNet(net, (net.source,)), horizon)
+        routed: list[RoutedNet] = []
+        failed: list[Net] = []
+        for net in order:
+            grid.remove_reservation(net.net_id)
+            try:
+                rn = self.route_one(net, grid, horizon)
+            except RoutingError:
+                failed.append(net)
+                grid.reserve(RoutedNet(net, (net.source,)), horizon)
+                continue
+            grid.reserve(rn, horizon)
+            routed.append(rn)
+        return routed, failed
+
+    # -- single-net search ---------------------------------------------------
+
+    def route_one(self, net: Net, grid: TimeGrid, horizon: int) -> RoutedNet:
+        """Time-expanded A* for one net against the grid's current
+        reservations. Raises :class:`RoutingError` when no trajectory
+        arrives (and can stay parked) within *horizon* steps."""
+        start, goal = net.source, net.goal
+        if not grid.in_bounds(start) or not grid.in_bounds(goal):
+            raise RoutingError(f"net {net.net_id}: endpoints {start}->{goal} off-array")
+        if grid.static_blocked(start, net.exempt_ops, ignore_parked_halo=True):
+            # A droplet on a failed electrode or under a foreign module
+            # cannot be actuated out; only a parked-droplet halo at the
+            # source is grandfathered (the droplet is already there).
+            raise RoutingError(
+                f"net {net.net_id}: source {start} sits on a faulty cell "
+                "or a foreign module footprint"
+            )
+        if start == goal:
+            # The droplet is already where it needs to be (a module
+            # reusing its producer's cells); no actuation required.
+            return RoutedNet(net, (start,))
+        if grid.static_blocked(goal, net.exempt_ops):
+            raise RoutingError(
+                f"net {net.net_id}: goal {goal} is statically blocked "
+                "(faulty cell, parked-droplet halo, or foreign module)"
+            )
+
+        counter = itertools.count()
+        open_heap: list[tuple[int, int, int, Point]] = [
+            (start.manhattan_distance(goal), 0, next(counter), start)
+        ]
+        came_from: dict[tuple[Point, int], tuple[Point, int]] = {}
+        seen: set[tuple[Point, int]] = {(start, 0)}
+        while open_heap:
+            _, step, _, cell = heapq.heappop(open_heap)
+            if cell == goal and self._tail_free(grid, net, goal, step, horizon):
+                return RoutedNet(net, self._reconstruct(came_from, cell, step))
+            if step >= horizon:
+                continue
+            for nxt in (cell, *cell.neighbors4()):
+                state = (nxt, step + 1)
+                if state in seen or not grid.in_bounds(nxt):
+                    continue
+                if grid.blocked(nxt, step + 1, net):
+                    continue
+                seen.add(state)
+                came_from[state] = (cell, step)
+                heapq.heappush(
+                    open_heap,
+                    (
+                        step + 1 + nxt.manhattan_distance(goal),
+                        step + 1,
+                        next(counter),
+                        nxt,
+                    ),
+                )
+        raise RoutingError(
+            f"net {net.net_id}: no trajectory {start} -> {goal} within "
+            f"{horizon} steps on {grid}"
+        )
+
+    @staticmethod
+    def _tail_free(grid: TimeGrid, net: Net, goal: Point, step: int, horizon: int) -> bool:
+        """After arrival the droplet parks at its goal; the cell must
+        stay clear of other reservations through the horizon."""
+        return all(
+            not grid.reserved_blocked(goal, s, net) for s in range(step + 1, horizon + 1)
+        )
+
+    @staticmethod
+    def _reconstruct(
+        came_from: dict[tuple[Point, int], tuple[Point, int]],
+        cell: Point,
+        step: int,
+    ) -> tuple[Point, ...]:
+        path = [cell]
+        state = (cell, step)
+        while state in came_from:
+            state = came_from[state]
+            path.append(state[0])
+        return tuple(reversed(path))

@@ -1,0 +1,218 @@
+"""Time-expanded occupancy grid for concurrent droplet routing.
+
+The grid answers one question for the prioritized router: *may net N's
+droplet occupy cell C at timestep T?* Obstacles come in two flavors:
+
+* **static** (per epoch) — faulty cells, parked product droplets (with
+  their one-cell fluidic halo), and the footprints of modules active
+  during the epoch. Module cells are passable only to nets owned by
+  that module (a droplet must enter its consumer, and leaves from
+  inside its producer).
+* **reservations** — trajectories of already-routed in-flight droplets.
+  Each occupied position blocks its 3x3 neighborhood at the step
+  itself and the two adjacent steps, which enforces both the static
+  fluidic constraint (one empty cell between droplets) and the dynamic
+  one (no moving next to where another droplet just was, so no swaps
+  or head-on passes). After arrival a droplet keeps its goal cell
+  reserved to the horizon — it is now an operand parked at its module.
+
+Reservations carry their net's producer/consumer so that merge and
+split exemptions apply: droplets feeding the same consumer ignore each
+other inside that consumer's footprint, and shares split from the same
+producer ignore each other inside the producer's footprint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.geometry import Point, Rect
+from repro.routing.plan import Net, RoutedNet
+
+
+class TimeGrid:
+    """Per-timestep obstacle sets over a ``width x height`` cell array."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"array dimensions must be >= 1, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._faulty: set[Point] = set()
+        self._parked: set[Point] = set()
+        self._parked_halo: set[Point] = set()
+        #: cell -> owner op ids whose active footprints cover it.
+        self._module_cells: dict[Point, set[str]] = {}
+        #: op id -> exemption rects (merge/split zones accumulate: a
+        #: relocated plug adds its spot without losing the footprint).
+        self._regions: dict[str, list[Rect]] = {}
+        #: step -> cell -> [(net_id, producer, consumer), ...] halo entries.
+        self._halo: dict[int, dict[Point, list[tuple[str, str | None, str | None]]]] = {}
+        #: net_id -> (step, cell) keys for O(path) removal.
+        self._net_keys: dict[str, list[tuple[int, Point]]] = {}
+
+    # -- static obstacles ----------------------------------------------------
+
+    def in_bounds(self, p: Point) -> bool:
+        return 1 <= p.x <= self.width and 1 <= p.y <= self.height
+
+    def add_faulty(self, cells: Iterable[Point | tuple[int, int]]) -> None:
+        """Mark cells permanently unusable (defective electrodes)."""
+        self._faulty.update(Point(*c) for c in cells)
+
+    def add_parked(self, cells: Iterable[Point | tuple[int, int]]) -> None:
+        """Mark parked droplets: the cell plus its one-cell fluidic halo."""
+        for c in cells:
+            p = Point(*c)
+            self._parked.add(p)
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    self._parked_halo.add(Point(p.x + dx, p.y + dy))
+
+    def add_module(self, footprint: Rect, owner: str) -> None:
+        """Block *footprint* for every net not owned by *owner*; also
+        registers the footprint as the owner's merge/split zone."""
+        for cell in footprint.cells():
+            self._module_cells.setdefault(cell, set()).add(owner)
+        self.add_region(owner, footprint)
+
+    def add_region(self, op_id: str, footprint: Rect) -> None:
+        """Register a merge/split exemption zone without blocking it
+        (used for producer modules that already finished). Zones
+        accumulate per op — registering twice widens, never replaces."""
+        rects = self._regions.setdefault(op_id, [])
+        if footprint not in rects:
+            rects.append(footprint)
+
+    def in_region(self, op_id: str | None, cell: Point) -> bool:
+        if op_id is None:
+            return False
+        return any(r.contains_point(cell) for r in self._regions.get(op_id, ()))
+
+    def regions(self) -> tuple[tuple[str, Rect], ...]:
+        """Registered (op id, zone rect) pairs, for plan bookkeeping."""
+        return tuple(
+            (op_id, rect)
+            for op_id in sorted(self._regions)
+            for rect in self._regions[op_id]
+        )
+
+    @property
+    def faulty(self) -> frozenset[Point]:
+        return frozenset(self._faulty)
+
+    @property
+    def parked(self) -> frozenset[Point]:
+        return frozenset(self._parked)
+
+    def static_blocked(
+        self,
+        cell: Point,
+        exempt_ops: frozenset[str] = frozenset(),
+        ignore_parked_halo: bool = False,
+    ) -> bool:
+        """True if *cell* is unusable regardless of timestep for a net
+        that may enter the footprints of *exempt_ops*.
+
+        *ignore_parked_halo* grandfathers a droplet's own parking spot:
+        a source that happens to sit next to another parked droplet is
+        where the droplet already *is* — routing can only move it away.
+        """
+        if cell in self._faulty:
+            return True
+        if not ignore_parked_halo and cell in self._parked_halo:
+            return True
+        owners = self._module_cells.get(cell)
+        return bool(owners) and not owners <= exempt_ops
+
+    # -- droplet reservations ------------------------------------------------
+
+    def reserve(self, routed: RoutedNet, horizon: int) -> None:
+        """Reserve a trajectory (and its post-arrival parking tail up to
+        *horizon*) with the spatio-temporal fluidic halo."""
+        net = routed.net
+        if net.net_id in self._net_keys:
+            raise ValueError(f"net {net.net_id!r} is already reserved")
+        entry = (net.net_id, net.producer, net.consumer)
+        # Collect each step's halo cells as a set first: the t-1/t/t+1
+        # windows of consecutive steps overlap, and a waiting or parked
+        # droplet would otherwise insert the same (step, cell) entry
+        # three times over.
+        cells_by_step: dict[int, set[Point]] = {}
+        for t in range(routed.start_step, horizon + 1):
+            p = routed.position_at(t)
+            halo = {
+                Point(p.x + dx, p.y + dy)
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+            }
+            for s in (t - 1, t, t + 1):
+                if s >= 0:
+                    cells_by_step.setdefault(s, set()).update(halo)
+        keys = self._net_keys.setdefault(net.net_id, [])
+        for s, cells in cells_by_step.items():
+            per_step = self._halo.setdefault(s, {})
+            for c in cells:
+                per_step.setdefault(c, []).append(entry)
+                keys.append((s, c))
+
+    def remove_reservation(self, net_id: str) -> None:
+        """Drop one net's reservation (re-routing during negotiation or
+        compaction)."""
+        for s, c in self._net_keys.pop(net_id, ()):
+            entries = self._halo.get(s, {}).get(c)
+            if not entries:
+                continue
+            entries[:] = [e for e in entries if e[0] != net_id]
+
+    def clear_reservations(self) -> None:
+        """Drop all reservations (a fresh negotiation round); static
+        obstacles stay."""
+        self._halo.clear()
+        self._net_keys.clear()
+
+    def reserved_blocked(self, cell: Point, step: int, net: Net) -> bool:
+        """True if another droplet's halo covers (*cell*, *step*) for
+        this net, honoring merge/split exemptions."""
+        entries = self._halo.get(step, {}).get(cell)
+        if not entries:
+            return False
+        for net_id, producer, consumer in entries:
+            if net_id == net.net_id:
+                continue
+            if (
+                consumer is not None
+                and consumer == net.consumer
+                and self.in_region(consumer, cell)
+            ):
+                continue
+            if (
+                producer is not None
+                and producer == net.producer
+                and self.in_region(producer, cell)
+            ):
+                continue
+            return True
+        return False
+
+    def blocked(self, cell: Point, step: int, net: Net) -> bool:
+        """Full occupancy query for *net* at (*cell*, *step*).
+
+        A net's own source cell is grandfathered against parked halos
+        *and* reservations: the droplet is already parked there, so it
+        may keep waiting at home until traffic clears, even when a
+        sibling was parked adjacent (a placement artifact routing can
+        only resolve by eventually moving one of them away).
+        """
+        if cell == net.source:
+            return self.static_blocked(cell, net.exempt_ops, ignore_parked_halo=True)
+        return self.static_blocked(cell, net.exempt_ops) or self.reserved_blocked(
+            cell, step, net
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"TimeGrid({self.width}x{self.height}, "
+            f"{len(self._faulty)} faulty, {len(self._parked)} parked, "
+            f"{len(self._net_keys)} reservations)"
+        )

@@ -22,7 +22,7 @@ unroutable transport, or a failed relocation all surface as
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.assay.graph import SequencingGraph
 from repro.assay.operations import OperationType
@@ -30,6 +30,7 @@ from repro.fault.reconfigure import PartialReconfigurer, Relocation
 from repro.geometry import Point
 from repro.grid.array import MicrofluidicArray, Port
 from repro.placement.model import PlacedModule, Placement
+from repro.routing.plan import RoutingPlan, chebyshev
 from repro.sim.droplet import Droplet
 from repro.sim.electrowetting import ElectrowettingModel
 from repro.sim.router import DropletRouter
@@ -72,6 +73,9 @@ class SimulationReport:
     product: Droplet | None
     final_placement: Placement
     failure_reason: str | None = None
+    #: Transports replayed from a precomputed routing plan (vs routed
+    #: ad hoc by the per-droplet A* fallback).
+    planned_transports: int = 0
 
     @property
     def delay_s(self) -> float:
@@ -122,12 +126,14 @@ class BiochipSimulator:
         reconfigurer: PartialReconfigurer | None = None,
         drive_voltage: float = 65.0,
         strict: bool = True,
+        routing_plan: RoutingPlan | None = None,
     ) -> None:
         if margin < 1:
             raise ValueError(f"margin must be >= 1 (droplets need route lanes), got {margin}")
         self.graph = graph
         self.schedule = schedule
         self.binding = binding
+        self.routing_plan = routing_plan
         self.ew = electrowetting if electrowetting is not None else ElectrowettingModel()
         self.reconfigurer = (
             reconfigurer if reconfigurer is not None else PartialReconfigurer()
@@ -137,6 +143,13 @@ class BiochipSimulator:
 
         normalized = placement.normalized()
         w, h = normalized.array_dims()
+        # A routing plan was computed in the *input* placement's
+        # coordinates plus the plan's own boundary margin; the simulator
+        # normalizes and pads differently, so planned cells map onto
+        # simulator cells by this offset (minus plan.margin, applied in
+        # _planned_route once a plan is known to exist).
+        bb = placement.bounding_box()
+        self._norm_offset = (1 - bb.x + margin, 1 - bb.y + margin)
         self.width = w + 2 * margin
         self.height = h + 2 * margin
         self.placement = Placement(self.width, self.height, pitch_mm=normalized.pitch_mm)
@@ -176,6 +189,7 @@ class BiochipSimulator:
         """
         events: list[SimEvent] = []
         relocations: list[Relocation] = []
+        self._planned_transports = 0
         fault_list = sorted(
             ((float(t), Point(*c)) for t, c in faults), key=lambda fc: fc[0]
         )
@@ -197,6 +211,7 @@ class BiochipSimulator:
                 product=None,
                 final_placement=self.placement,
                 failure_reason=str(exc),
+                planned_transports=self._planned_transports,
             )
 
         realized_finish = {s.op_id: s.finish for s in states.values()}
@@ -210,6 +225,7 @@ class BiochipSimulator:
             total_transport_cells=transport,
             product=product,
             final_placement=self.placement,
+            planned_transports=self._planned_transports,
         )
 
     def module_cell(self, op_id: str) -> Point:
@@ -461,8 +477,14 @@ class BiochipSimulator:
         assert droplet.position is not None
         if safe(droplet.position):
             return 0
-        # BFS ring search for the nearest safe parking cell.
-        goal = self._nearest_safe_cell(droplet.position, safe)
+        # When replaying a routing plan, prefer the cell the plan's
+        # next transport expects as its source — keeping the simulator's
+        # parking aligned with the plan model is what lets those
+        # transports replay instead of falling back to ad-hoc A*.
+        goal = self._plan_parking_cell(op_id, consumers, safe)
+        if goal is None:
+            # BFS ring search for the nearest safe parking cell.
+            goal = self._nearest_safe_cell(droplet.position, safe)
         if goal is None:
             raise SimulationError(
                 f"no safe parking cell for {op_id}'s product at t={finish:g}"
@@ -479,6 +501,30 @@ class BiochipSimulator:
             op_id,
             obstacle_time=finish - 1e-9,
         )
+
+    def _plan_parking_cell(self, op_id: str, consumers: set, safe) -> Point | None:
+        """The parking spot the routing plan modeled for *op_id*'s
+        product — the source of its next planned transport (or of its
+        hold net) — if it exists and passes the simulator's own safety
+        check. Returns None when no plan is loaded or no modeled spot
+        is usable."""
+        if self.routing_plan is None:
+            return None
+        dx = self._norm_offset[0] - self.routing_plan.margin
+        dy = self._norm_offset[1] - self.routing_plan.margin
+        candidates = [self.routing_plan.net_for(op_id, s) for s in sorted(consumers)]
+        candidates.append(self.routing_plan.net_for(op_id, None))  # hold net
+        for net in candidates:
+            if net is None:
+                continue
+            cell = net.net.source.translated(dx, dy)
+            if (
+                1 <= cell.x <= self.width
+                and 1 <= cell.y <= self.height
+                and safe(cell)
+            ):
+                return cell
+        return None
 
     def _nearest_safe_cell(self, start: Point, safe) -> Point | None:
         from collections import deque
@@ -577,6 +623,22 @@ class BiochipSimulator:
             raise SimulationError(f"droplet {droplet.droplet_id} is not on the array")
         if droplet.position == goal:
             return 0
+        planned = self._planned_route(droplet, goal, faulty_now, other_droplets, op_id)
+        if planned is not None:
+            seconds = self.ew.transport_time_s(planned.moves, self.drive_voltage)
+            events.append(
+                SimEvent(
+                    t,
+                    "transport",
+                    f"droplet {droplet.droplet_id}: {droplet.position} -> {goal} "
+                    f"({planned.moves} cells, {seconds:.3f} s, planned route, "
+                    f"{planned.waits} waits)",
+                    op_id,
+                )
+            )
+            droplet.position = goal
+            self._planned_transports += 1
+            return planned.moves
         # Obstacles: every module operating while this transport happens,
         # except the destination module itself. *obstacle_time* lets an
         # evacuation route use the configuration just before a module
@@ -640,3 +702,50 @@ class BiochipSimulator:
         )
         droplet.position = goal
         return route.length
+
+    def _planned_route(
+        self,
+        droplet: Droplet,
+        goal: Point,
+        faulty_now: list[Point],
+        other_droplets: list[Point],
+        op_id: str,
+    ):
+        """The precomputed routed net for this transport, if the plan
+        has one that still applies.
+
+        The plan routed dependency edge ``produced_by -> op_id`` at
+        synthesis time against the *nominal* configuration; it is
+        replayed only while that configuration holds — no faults have
+        fired (a fault may have relocated modules or reparked products
+        the plan knows nothing about), the endpoints (mapped into
+        simulator coordinates) match the droplet's actual position and
+        goal, and the planned trajectory keeps the one-cell fluidic gap
+        from the droplets *actually* parked right now (the simulator's
+        parking decisions can diverge from the plan's parking model).
+        Everything else — dispense/output legs, evacuations, the whole
+        post-fault regime — falls back to the per-droplet A* router,
+        which sees the live obstacle state.
+        """
+        if self.routing_plan is None or droplet.produced_by is None:
+            return None
+        if faulty_now:
+            return None
+        net = self.routing_plan.net_for(droplet.produced_by, op_id)
+        if net is None:
+            return None
+        dx = self._norm_offset[0] - self.routing_plan.margin
+        dy = self._norm_offset[1] - self.routing_plan.margin
+        if (
+            net.net.source.translated(dx, dy) != droplet.position
+            or net.net.goal.translated(dx, dy) != goal
+        ):
+            return None
+        if other_droplets:
+            cells = [c.translated(dx, dy) for c in net.cells]
+            for q in other_droplets:
+                if q == goal:
+                    continue  # goal-adjacent merge is the point
+                if any(chebyshev(c, q) <= 1 for c in cells):
+                    return None
+        return net

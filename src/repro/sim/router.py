@@ -1,8 +1,7 @@
-"""Droplet routing on the microfluidic array.
+"""Per-droplet routing on the microfluidic array (simulation fallback).
 
-Routing synthesis is a separate problem (the authors' later work); what
-the simulator needs is a *correct* router: shortest droplet paths that
-avoid faulty cells, stay off concurrently operating modules'
+What the simulator needs is a *correct* router: shortest droplet paths
+that avoid faulty cells, stay off concurrently operating modules'
 footprints, and respect the static fluidic constraint — an in-transit
 droplet must keep one empty cell between itself and any unrelated
 droplet, or the two would spontaneously merge.
@@ -10,6 +9,14 @@ droplet, or the two would spontaneously merge.
 A* over the cell grid with unit step cost handles all of this; the
 fluidic spacing constraint is folded into the obstacle set by inflating
 each parked droplet by one cell.
+
+This router moves one droplet at a time against a *static* snapshot of
+the array. For synthesis-time routing — many droplets in flight at
+once, per-timestep obstacles, wait/detour negotiation, and a verified
+conflict-free plan — use :mod:`repro.routing` (the flow's optional
+fourth stage); the simulator replays such a
+:class:`~repro.routing.plan.RoutingPlan` when one is supplied and falls
+back to this router for everything the plan does not cover.
 """
 
 from __future__ import annotations

@@ -2,26 +2,31 @@
 
 Behavioral model (sequencing graph) -> architectural-level synthesis
 (resource binding + scheduling) -> geometry-level synthesis (module
-placement, here with optional fault-tolerance refinement). One call
-takes an assay from protocol description to a placed, FTI-scored
-configuration.
+placement, here with optional fault-tolerance refinement) -> optional
+routing synthesis (concurrent droplet-routing plan, ``route=True``).
+One call takes an assay from protocol description to a placed,
+FTI-scored — and, when requested, fully routed — configuration.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.assay.graph import SequencingGraph
 from repro.fault.fti import FTIReport, compute_fti
+from repro.geometry import Point
 from repro.modules.library import ModuleLibrary
 from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
 from repro.placement.two_stage import TwoStagePlacer
+from repro.routing.plan import RoutingPlan
+from repro.routing.synthesis import RoutingSynthesizer
 from repro.synthesis.binder import Binding, ResourceBinder
 from repro.synthesis.schedule import Schedule
 from repro.synthesis.scheduler import integerized, list_schedule
+from repro.util.rng import ensure_rng, spawn_rng
 
 
 @dataclass
@@ -34,6 +39,7 @@ class SynthesisResult:
     placement_result: PlacementResult
     fti_report: FTIReport | None
     runtime_s: float
+    routing_plan: RoutingPlan | None = None
 
     @property
     def makespan(self) -> float:
@@ -49,6 +55,21 @@ class SynthesisResult:
     def fti(self) -> float | None:
         """Fault tolerance index of the final placement, if computed."""
         return self.fti_report.fti if self.fti_report is not None else None
+
+    @property
+    def total_route_steps(self) -> int | None:
+        """Total droplet actuation steps of the routing plan, if routed."""
+        return None if self.routing_plan is None else self.routing_plan.total_route_steps
+
+    @property
+    def max_net_latency(self) -> int | None:
+        """Worst single-net routing latency in steps, if routed."""
+        return None if self.routing_plan is None else self.routing_plan.max_net_latency
+
+    @property
+    def routability(self) -> float | None:
+        """Fraction of transport nets the router realized, if routed."""
+        return None if self.routing_plan is None else self.routing_plan.routability
 
     def summary(self) -> str:
         """One-paragraph human-readable report."""
@@ -66,11 +87,14 @@ class SynthesisResult:
                 f"({self.fti_report.fault_tolerance_number}/"
                 f"{self.fti_report.cell_count} cells C-covered)"
             )
+        if self.routing_plan is not None:
+            lines.append(f"routing: {self.routing_plan.summary()}")
         return "\n".join(lines)
 
 
 class SynthesisFlow:
-    """Chains binder -> scheduler -> placer with sensible defaults."""
+    """Chains binder -> scheduler -> placer (-> router) with sensible
+    defaults."""
 
     def __init__(
         self,
@@ -81,20 +105,38 @@ class SynthesisFlow:
         binding_strategy: str = ResourceBinder.FASTEST,
         compute_fti_report: bool = True,
         seed: int | random.Random | None = None,
+        route: bool = False,
+        routing_synthesizer: RoutingSynthesizer | None = None,
     ) -> None:
+        # One explicit generator per flow instance: concurrent flows
+        # must not share RNG state through the global random module.
+        self.rng = ensure_rng(seed)
         self.binder = ResourceBinder(library)
-        self.placer = placer if placer is not None else SimulatedAnnealingPlacer(seed=seed)
+        self.placer = (
+            placer
+            if placer is not None
+            else SimulatedAnnealingPlacer(seed=spawn_rng(self.rng))
+        )
         self.max_concurrent_ops = max_concurrent_ops
         self.cell_capacity = cell_capacity
         self.binding_strategy = binding_strategy
         self.compute_fti_report = compute_fti_report
+        self.route = route
+        self.routing_synthesizer = (
+            routing_synthesizer if routing_synthesizer is not None else RoutingSynthesizer()
+        )
 
     def run(
         self,
         graph: SequencingGraph,
         explicit_binding: Mapping[str, str] | None = None,
+        faulty_cells: Iterable[Point | tuple[int, int]] = (),
     ) -> SynthesisResult:
-        """Synthesize *graph* end to end."""
+        """Synthesize *graph* end to end.
+
+        *faulty_cells* are known-defective electrodes the routing stage
+        must avoid (they only matter with ``route=True``).
+        """
         t0 = time.perf_counter()
         binding = self.binder.bind(
             graph, explicit=explicit_binding, strategy=self.binding_strategy
@@ -118,6 +160,11 @@ class SynthesisFlow:
                 fti_report = placed.fti_stage2
             else:
                 fti_report = compute_fti(placement_result.placement)
+        routing_plan = None
+        if self.route:
+            routing_plan = self.routing_synthesizer.synthesize(
+                graph, schedule, placement_result.placement, faulty_cells=faulty_cells
+            )
         return SynthesisResult(
             graph=graph,
             binding=binding,
@@ -125,4 +172,5 @@ class SynthesisFlow:
             placement_result=placement_result,
             fti_report=fti_report,
             runtime_s=time.perf_counter() - t0,
+            routing_plan=routing_plan,
         )

@@ -100,3 +100,33 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "pareto front" in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_no_fast_selects_larger_preset(self):
+        args = build_parser().parse_args(["flow", "--no-fast"])
+        assert args.fast is False
+        args = build_parser().parse_args(["flow"])
+        assert args.fast is True
+
+    def test_route_command_prints_verified_plan(self, capsys):
+        rc = main(["route", "--protocol", "pcr", "--seed", "2", "--fast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verification: conflict-free" in out
+        assert "routability" in out
+        assert "latency" in out
+
+    def test_route_command_avoids_declared_fault(self, capsys):
+        rc = main(
+            ["route", "--protocol", "pcr", "--seed", "2", "--faulty", "4", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verification: conflict-free" in out

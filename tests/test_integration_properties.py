@@ -14,15 +14,13 @@ from hypothesis import strategies as st
 from repro.assay.synthetic import random_assay
 from repro.fault.fti import compute_fti
 from repro.placement.annealer import AnnealingParams
-from repro.placement.greedy import build_placed_modules
 from repro.placement.initial import constructive_initial_placement
 from repro.placement.moves import MoveGenerator
 from repro.placement.sa_placer import SimulatedAnnealingPlacer
 from repro.placement.window import ControllingWindow
 from repro.sim.engine import BiochipSimulator
-from repro.synthesis.binder import ResourceBinder
 from repro.synthesis.flow import SynthesisFlow
-from repro.synthesis.scheduler import integerized, list_schedule
+from repro.synthesis.scheduler import list_schedule
 
 
 class TestMoveInvariants:

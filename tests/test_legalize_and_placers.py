@@ -3,7 +3,6 @@ placers on the PCR case study."""
 
 import pytest
 
-from repro.fault.fti import compute_fti
 from repro.modules.library import MIXER_2X2, MIXER_2X4, MIXER_LINEAR_1X4
 from repro.placement.annealer import AnnealingParams
 from repro.placement.greedy import GreedyPlacer, build_placed_modules

@@ -1,7 +1,5 @@
 """Tests for the controlling window and the four generation functions."""
 
-import random
-
 import pytest
 
 from repro.modules.library import MIXER_2X2, MIXER_2X4, MIXER_LINEAR_1X4

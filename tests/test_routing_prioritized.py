@@ -1,0 +1,165 @@
+"""Tests for the prioritized time-expanded router (edge cases included)."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.routing import Net, PrioritizedRouter, RoutingEpoch, RoutingPlan, TimeGrid
+from repro.util.errors import RoutingError
+
+
+def verify(grid, routed, time_s=0.0):
+    """Wrap routed nets of one batch into a plan and run the verifier."""
+    epoch = RoutingEpoch(
+        time_s=time_s,
+        step_offset=0,
+        nets=tuple(routed),
+        modules=tuple(),
+        regions=grid.regions(),
+        faulty=grid.faulty,
+        parked=grid.parked,
+    )
+    RoutingPlan(grid.width, grid.height, (epoch,)).verify()
+
+
+class TestSingleNet:
+    def test_straight_route(self):
+        grid = TimeGrid(8, 8)
+        rn = PrioritizedRouter().route_one(Net("n", Point(1, 1), Point(6, 1)), grid, 30)
+        assert rn.moves == 5
+        assert rn.waits == 0
+        assert rn.cells[0] == Point(1, 1)
+        assert rn.cells[-1] == Point(6, 1)
+
+    def test_start_equals_goal_is_zero_latency(self):
+        grid = TimeGrid(8, 8)
+        rn = PrioritizedRouter().route_one(Net("n", Point(3, 3), Point(3, 3)), grid, 30)
+        assert rn.cells == (Point(3, 3),)
+        assert rn.latency == 0
+        assert rn.moves == 0
+
+    def test_off_array_endpoints_rejected(self):
+        grid = TimeGrid(8, 8)
+        with pytest.raises(RoutingError):
+            PrioritizedRouter().route_one(Net("n", Point(0, 1), Point(5, 5)), grid, 30)
+        with pytest.raises(RoutingError):
+            PrioritizedRouter().route_one(Net("n", Point(1, 1), Point(9, 5)), grid, 30)
+
+    def test_goal_inside_fluidic_halo_raises(self):
+        grid = TimeGrid(8, 8)
+        grid.add_parked([Point(5, 5)])
+        with pytest.raises(RoutingError, match="statically blocked"):
+            PrioritizedRouter().route_one(Net("n", Point(1, 1), Point(5, 6)), grid, 30)
+
+    def test_goal_on_faulty_cell_raises(self):
+        grid = TimeGrid(8, 8)
+        grid.add_faulty([Point(5, 5)])
+        with pytest.raises(RoutingError, match="statically blocked"):
+            PrioritizedRouter().route_one(Net("n", Point(1, 1), Point(5, 5)), grid, 30)
+
+    def test_fully_blocked_grid_raises(self):
+        grid = TimeGrid(5, 3)
+        grid.add_faulty([Point(3, 1), Point(3, 2), Point(3, 3)])
+        with pytest.raises(RoutingError):
+            PrioritizedRouter().route_one(Net("n", Point(1, 2), Point(5, 2)), grid, 40)
+
+    def test_detour_around_faulty_wall_with_gap(self):
+        grid = TimeGrid(5, 5)
+        grid.add_faulty([Point(3, 1), Point(3, 2), Point(3, 3), Point(3, 4)])
+        rn = PrioritizedRouter().route_one(Net("n", Point(1, 2), Point(5, 2)), grid, 40)
+        assert Point(3, 5) in rn.cells  # the only gap
+        assert rn.moves > 4
+
+    def test_foreign_module_is_obstacle_own_consumer_is_not(self):
+        grid = TimeGrid(9, 5)
+        grid.add_module(Rect(4, 1, 3, 5), "OTHER")
+        with pytest.raises(RoutingError):
+            PrioritizedRouter().route_one(Net("n", Point(1, 3), Point(9, 3)), grid, 60)
+        grid2 = TimeGrid(9, 5)
+        grid2.add_module(Rect(4, 1, 3, 5), "MINE")
+        rn = PrioritizedRouter().route_one(
+            Net("n", Point(1, 3), Point(5, 3), consumer="MINE"), grid2, 60
+        )
+        assert rn.cells[-1] == Point(5, 3)
+
+
+class TestBatchRouting:
+    def test_crossing_nets_stay_conflict_free(self):
+        grid = TimeGrid(9, 9)
+        nets = [
+            Net("a", Point(1, 5), Point(9, 5), priority=1.0),
+            Net("b", Point(5, 1), Point(5, 9)),
+        ]
+        routed, failed = PrioritizedRouter().route_all(nets, grid)
+        assert not failed
+        verify(grid, routed)
+        by_id = {rn.net.net_id: rn for rn in routed}
+        # The critical net goes straight; the other yields (waits or detours).
+        assert by_id["a"].latency == 8
+        assert by_id["b"].latency > 8
+
+    def test_unique_net_ids_required(self):
+        grid = TimeGrid(5, 5)
+        nets = [Net("x", Point(1, 1), Point(5, 5)), Net("x", Point(5, 1), Point(1, 5))]
+        with pytest.raises(ValueError):
+            PrioritizedRouter().route_all(nets, grid)
+
+    def test_strict_raises_and_nonstrict_reports(self):
+        def blocked_grid():
+            grid = TimeGrid(5, 3)
+            grid.add_faulty([Point(3, 1), Point(3, 2), Point(3, 3)])
+            return grid
+
+        nets = [Net("w", Point(1, 2), Point(5, 2))]
+        with pytest.raises(RoutingError, match="unroutable"):
+            PrioritizedRouter().route_all(nets, blocked_grid())
+        routed, failed = PrioritizedRouter(strict=False).route_all(nets, blocked_grid())
+        assert not routed
+        assert [n.net_id for n in failed] == ["w"]
+
+    def test_unrouted_sources_are_respected(self):
+        # Net "b" never moves (start == goal); "a" must not drive
+        # through b's parked droplet even though b routes second.
+        grid = TimeGrid(7, 5)
+        nets = [
+            Net("a", Point(1, 2), Point(7, 2), priority=10.0),
+            Net("b", Point(4, 2), Point(4, 2)),
+        ]
+        routed, failed = PrioritizedRouter().route_all(nets, grid)
+        assert not failed
+        verify(grid, routed)
+        a = next(rn for rn in routed if rn.net.net_id == "a")
+        # Every intermediate position keeps the one-cell fluidic gap.
+        assert all(max(abs(c.x - 4), abs(c.y - 2)) > 1 for c in a.cells[1:-1])
+
+    def test_yield_negotiation_frees_trapped_net(self):
+        # "inner" starts walled in by "outer"'s parked droplet next door
+        # in a dead-end corridor; only routing "outer" first can free it.
+        grid = TimeGrid(9, 5)
+        grid.add_module(Rect(1, 1, 1, 5), "WALL")
+        nets = [
+            Net("inner", Point(2, 2), Point(9, 2), priority=5.0),
+            Net("outer", Point(3, 2), Point(9, 5)),
+        ]
+        routed, failed = PrioritizedRouter().route_all(nets, grid)
+        assert not failed
+        verify(grid, routed)
+
+    def test_empty_batch(self):
+        routed, failed = PrioritizedRouter().route_all([], TimeGrid(4, 4))
+        assert routed == [] and failed == []
+
+
+class TestWaitInPlace:
+    def test_congestion_forces_waits_or_detours(self):
+        # Single-lane corridor, two nets in the same direction, the
+        # trailing one released from a cell the leader must pass.
+        grid = TimeGrid(12, 1)
+        nets = [
+            Net("lead", Point(3, 1), Point(12, 1), priority=1.0),
+            Net("trail", Point(1, 1), Point(10, 1)),
+        ]
+        routed, failed = PrioritizedRouter().route_all(nets, grid)
+        assert not failed
+        verify(grid, routed)
+        trail = next(rn for rn in routed if rn.net.net_id == "trail")
+        assert trail.waits > 0  # a 1-wide corridor leaves no detour

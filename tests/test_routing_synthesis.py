@@ -1,0 +1,181 @@
+"""Tests for the routing-synthesis stage and its flow/simulator integration."""
+
+import pytest
+
+from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
+from repro.geometry import Point
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.routing import RoutingSynthesizer
+from repro.routing.compact import compact_routes
+from repro.routing.prioritized import PrioritizedRouter
+from repro.routing.timegrid import TimeGrid
+from repro.routing.plan import Net
+from repro.sim.engine import BiochipSimulator
+from repro.synthesis.flow import SynthesisFlow
+
+
+def make_flow(**kwargs):
+    return SynthesisFlow(
+        placer=SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=2),
+        max_concurrent_ops=3,
+        cell_capacity=63,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def routed_result():
+    flow = make_flow(route=True)
+    return flow.run(build_pcr_mixing_graph(), explicit_binding=PCR_BINDING)
+
+
+class TestFlowIntegration:
+    def test_flow_without_route_has_no_plan(self):
+        result = make_flow().run(build_pcr_mixing_graph(), explicit_binding=PCR_BINDING)
+        assert result.routing_plan is None
+        assert result.total_route_steps is None
+        assert result.max_net_latency is None
+        assert result.routability is None
+        assert "routing:" not in result.summary()
+
+    def test_flow_with_route_produces_verified_plan(self, routed_result):
+        plan = routed_result.routing_plan
+        assert plan is not None
+        plan.verify()  # raises on any conflict
+        # PCR mixing stage: 6 placed-to-placed dependency edges.
+        assert plan.routed_count == 6
+        assert plan.routability == 1.0
+
+    def test_result_metrics_mirror_plan(self, routed_result):
+        plan = routed_result.routing_plan
+        assert routed_result.total_route_steps == plan.total_route_steps
+        assert routed_result.max_net_latency == plan.max_net_latency
+        assert routed_result.routability == plan.routability
+        assert "routing:" in routed_result.summary()
+
+    def test_epochs_follow_schedule_instants(self, routed_result):
+        plan = routed_result.routing_plan
+        times = [e.time_s for e in plan.epochs]
+        assert times == sorted(times)
+        for epoch in plan.epochs:
+            for rn in epoch.nets:
+                consumer = rn.net.consumer
+                assert routed_result.schedule.start(consumer) == epoch.time_s
+
+    def test_plan_respects_known_faulty_cells(self):
+        flow = make_flow(route=True)
+        result = flow.run(
+            build_pcr_mixing_graph(),
+            explicit_binding=PCR_BINDING,
+            faulty_cells=[(4, 3)],
+        )
+        plan = result.routing_plan
+        plan.verify()
+        m = plan.margin
+        bad = Point(4 + m, 3 + m)
+        for rn in plan.nets:
+            assert bad not in rn.cells
+
+    def test_flow_seed_isolated_from_global_random(self):
+        import random
+
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        make_flow(route=True).run(build_pcr_mixing_graph(), explicit_binding=PCR_BINDING)
+        # The flow must not consume from the module-level generator.
+        assert random.random() == before
+
+
+class TestFanOutHolds:
+    def test_staggered_fanout_models_remainder_as_hold_net(self):
+        # A's product feeds B (immediately) and C (later). The share
+        # remaining for C must exist as a zero-ish-move hold net so
+        # traffic avoids it and the verifier can see it.
+        from repro.assay.graph import SequencingGraph
+        from repro.assay.operations import Operation, OperationType
+        from repro.placement.greedy import GreedyPlacer
+        from repro.synthesis.binder import ResourceBinder
+        from repro.synthesis.scheduler import integerized, list_schedule
+
+        g = SequencingGraph("fanout")
+        for op in ("A", "B", "C"):
+            g.add_operation(Operation(op, OperationType.MIX))
+        g.add_dependency("A", "B")
+        g.add_dependency("A", "C")
+        binding = ResourceBinder().bind(g, strategy="smallest")
+        schedule = integerized(
+            list_schedule(g, binding.durations(), max_concurrent_ops=1)
+        )
+        placement = GreedyPlacer().place(schedule, binding).placement
+        plan = RoutingSynthesizer().synthesize(g, schedule, placement)
+        plan.verify()
+        assert plan.routability == 1.0
+        ids = [rn.net.net_id for rn in plan.nets]
+        assert "A@hold" in ids  # the remainder share is modeled
+        hold = next(rn for rn in plan.nets if rn.net.net_id == "A@hold")
+        assert hold.net.source == hold.net.goal
+
+
+class TestSimulatorReplay:
+    def test_replay_uses_planned_routes(self, routed_result):
+        r = routed_result
+        sim = BiochipSimulator(
+            r.graph, r.schedule, r.binding, r.placement_result.placement,
+            routing_plan=r.routing_plan,
+        )
+        report = sim.run()
+        assert report.completed
+        assert report.planned_transports > 0
+        assert any("planned route" in e.detail for e in report.events_of_kind("transport"))
+
+    def test_replay_matches_serial_product(self, routed_result):
+        r = routed_result
+        baseline = BiochipSimulator(
+            r.graph, r.schedule, r.binding, r.placement_result.placement
+        ).run()
+        replay = BiochipSimulator(
+            r.graph, r.schedule, r.binding, r.placement_result.placement,
+            routing_plan=r.routing_plan,
+        ).run()
+        assert baseline.planned_transports == 0
+        assert replay.product.reagents == baseline.product.reagents
+        assert replay.realized_makespan == baseline.realized_makespan
+
+    def test_replay_degrades_to_router_under_faults(self, routed_result):
+        r = routed_result
+        sim = BiochipSimulator(
+            r.graph, r.schedule, r.binding, r.placement_result.placement,
+            routing_plan=r.routing_plan,
+        )
+        report = sim.run(faults=[(8.0, sim.module_cell("M6"))])
+        assert report.completed
+        assert report.relocations  # the fault really hit a module
+
+
+class TestCompaction:
+    def test_compaction_never_lengthens(self):
+        grid = TimeGrid(9, 9)
+        nets = [
+            Net("a", Point(1, 5), Point(9, 5), priority=1.0),
+            Net("b", Point(5, 1), Point(5, 9)),
+        ]
+        router = PrioritizedRouter()
+        horizon = router.default_horizon(grid, nets)
+        routed, failed = router.route_all(nets, grid, horizon)
+        assert not failed
+        before = {rn.net.net_id: rn.latency for rn in routed}
+        compacted, report = compact_routes(routed, grid, router, horizon)
+        for rn in compacted:
+            assert rn.latency <= before[rn.net.net_id]
+        assert report.steps_saved >= 0
+        assert len(report.improvements) == 2
+        assert "compaction" in str(report)
+
+    def test_synthesizer_records_reports(self):
+        flow = make_flow(route=True, routing_synthesizer=RoutingSynthesizer(compact=True))
+        flow.run(build_pcr_mixing_graph(), explicit_binding=PCR_BINDING)
+        reports = flow.routing_synthesizer.compaction_reports
+        assert reports  # one per epoch that routed nets
+        assert all(rep.steps_saved >= 0 for rep in reports)
