@@ -4,13 +4,39 @@ Each benchmark regenerates one table/figure of the paper. Regenerated
 rows are registered through the ``report`` fixture and printed in the
 terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows both
 the timings and the paper-vs-measured tables without needing ``-s``.
+
+The harness is wired to the staged pipeline: ``make_portfolio_spec``
+builds a ready :class:`repro.pipeline.PortfolioSpec` for any assay of
+the shared :mod:`repro.assay.catalog`, so portfolio/batch benchmarks
+use the same registry and construction path as the CLI.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.assay.catalog import build_assay
+from repro.placement.annealer import AnnealingParams
+
 _SECTIONS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def make_portfolio_spec():
+    """Factory: a pipeline PortfolioSpec for a named bundled assay."""
+    from repro.pipeline import PortfolioSpec
+
+    def make(assay: str, *, route: bool = False, fast: bool = True, **kwargs):
+        graph, binding = build_assay(assay)
+        return PortfolioSpec(
+            graph=graph,
+            explicit_binding=binding,
+            annealing=AnnealingParams.fast() if fast else AnnealingParams.balanced(),
+            route=route,
+            **kwargs,
+        )
+
+    return make
 
 
 @pytest.fixture

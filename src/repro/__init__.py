@@ -43,6 +43,17 @@ from repro.grid.occupancy import OccupancyGrid
 from repro.modules.kinds import ModuleKind
 from repro.modules.library import ModuleLibrary, standard_library
 from repro.modules.module import ModuleSpec
+from repro.pipeline import (
+    BatchReport,
+    BatchScenarioRunner,
+    FaultPattern,
+    Pipeline,
+    PortfolioResult,
+    PortfolioSpec,
+    SynthesisContext,
+    build_default_pipeline,
+    run_portfolio,
+)
 from repro.placement.annealer import AnnealingParams, SimulatedAnnealing
 from repro.placement.cost import AreaCost, FaultAwareCost
 from repro.placement.greedy import GreedyPlacer
@@ -59,12 +70,14 @@ from repro.routing import (
     RoutingSynthesizer,
     TimeGrid,
 )
+from repro.sim.engine import BiochipSimulator, SimulationReport
 from repro.synthesis.binder import Binding, ResourceBinder
 from repro.synthesis.flow import SynthesisFlow, SynthesisResult
 from repro.synthesis.schedule import Schedule
 from repro.synthesis.scheduler import alap_schedule, asap_schedule, list_schedule
 from repro.util.errors import (
     BindingError,
+    PipelineError,
     PlacementError,
     ReconfigurationError,
     ReproError,
@@ -78,9 +91,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AnnealingParams",
     "AreaCost",
+    "BatchReport",
+    "BatchScenarioRunner",
+    "BiochipSimulator",
     "Binding",
     "BindingError",
     "Box",
+    "FaultPattern",
     "FTIReport",
     "FaultAwareCost",
     "FaultInjector",
@@ -96,12 +113,16 @@ __all__ = [
     "OperationType",
     "PCR_BINDING",
     "PartialReconfigurer",
+    "Pipeline",
+    "PipelineError",
     "PlacedModule",
     "Placement",
     "PlacementError",
     "PlacementResult",
     "Point",
     "Port",
+    "PortfolioResult",
+    "PortfolioSpec",
     "PrioritizedRouter",
     "ReconfigurationError",
     "ReconfigurationPlan",
@@ -119,6 +140,8 @@ __all__ = [
     "SimulatedAnnealing",
     "SimulatedAnnealingPlacer",
     "SimulationError",
+    "SimulationReport",
+    "SynthesisContext",
     "SynthesisFlow",
     "SynthesisResult",
     "TimeGrid",
@@ -129,6 +152,7 @@ __all__ = [
     "alap_schedule",
     "asap_schedule",
     "brute_force_maximal_empty_rectangles",
+    "build_default_pipeline",
     "build_mix_tree",
     "build_multiplexed_diagnostics_graph",
     "build_pcr_full_graph",
@@ -139,5 +163,6 @@ __all__ = [
     "find_maximal_empty_rectangles",
     "list_schedule",
     "random_assay",
+    "run_portfolio",
     "standard_library",
 ]

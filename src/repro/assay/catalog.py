@@ -1,0 +1,38 @@
+"""The bundled-assay catalog: one registry for every entry point.
+
+Maps a protocol name to a zero-argument builder returning
+``(sequencing graph, explicit_binding_or_None)``. The CLI, the
+experiments runner, and the benchmark harness all draw from this single
+mapping, so adding or re-parameterizing a bundled assay is a one-line
+change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.assay.graph import SequencingGraph
+from repro.assay.protocols.dilution import build_serial_dilution_graph
+from repro.assay.protocols.glucose import build_multiplexed_diagnostics_graph
+from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
+from repro.assay.synthetic import build_mix_tree
+
+AssayBuilder = Callable[[], tuple[SequencingGraph, Mapping[str, str] | None]]
+
+BUNDLED_ASSAYS: dict[str, AssayBuilder] = {
+    "pcr": lambda: (build_pcr_mixing_graph(), PCR_BINDING),
+    "dilution": lambda: (build_serial_dilution_graph(4), None),
+    "ivd": lambda: (build_multiplexed_diagnostics_graph(2, 2), None),
+    "tree8": lambda: (build_mix_tree(8), None),
+    "tree16": lambda: (build_mix_tree(16), None),
+}
+
+
+def build_assay(name: str) -> tuple[SequencingGraph, Mapping[str, str] | None]:
+    """Build the named bundled assay; raises ``KeyError`` with choices."""
+    try:
+        return BUNDLED_ASSAYS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown bundled assay {name!r}; choose from {sorted(BUNDLED_ASSAYS)}"
+        ) from None

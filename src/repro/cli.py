@@ -1,11 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's day-to-day uses without writing code:
+Seven commands cover the library's day-to-day uses without writing code:
 
 * ``flow`` — synthesize a built-in protocol end to end and print the
   schedule, placement, and FTI analysis.
 * ``route`` — synthesize with the concurrent droplet-routing stage and
   print the verified per-net routing plan.
+* ``portfolio`` — best-of-N seeded pipeline instances (in parallel with
+  ``--jobs``), winner selected by ``--objective``.
+* ``batch`` — sweep an (assay x fault pattern) scenario grid through
+  the staged pipeline; ``--json`` emits the machine-readable report.
 * ``sweep`` — the Table 2 beta sweep.
 * ``experiments`` — the full paper-vs-measured report.
 * ``explore`` — architectural design-space exploration (binding
@@ -15,22 +19,12 @@ Five commands cover the library's day-to-day uses without writing code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import __version__
-from repro.assay.protocols.dilution import build_serial_dilution_graph
-from repro.assay.protocols.glucose import build_multiplexed_diagnostics_graph
-from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
-from repro.assay.synthetic import build_mix_tree
+from repro.assay.catalog import BUNDLED_ASSAYS as PROTOCOLS
 from repro.placement.annealer import AnnealingParams
-
-PROTOCOLS = {
-    "pcr": lambda: (build_pcr_mixing_graph(), PCR_BINDING),
-    "dilution": lambda: (build_serial_dilution_graph(4), None),
-    "ivd": lambda: (build_multiplexed_diagnostics_graph(2, 2), None),
-    "tree8": lambda: (build_mix_tree(8), None),
-    "tree16": lambda: (build_mix_tree(16), None),
-}
 
 
 def _params(fast: bool) -> AnnealingParams:
@@ -105,6 +99,89 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.pipeline import PortfolioSpec, run_portfolio
+    from repro.util.errors import PipelineError
+    from repro.util.tables import format_table
+
+    graph, binding = PROTOCOLS[args.protocol]()
+    spec = PortfolioSpec(
+        graph=graph,
+        explicit_binding=binding,
+        annealing=_params(args.fast),
+        beta=args.beta,
+        max_concurrent_ops=args.max_concurrent,
+        route=args.route,
+    )
+    try:
+        result = run_portfolio(
+            spec, n=args.n, seed=args.seed, objective=args.objective, jobs=args.jobs
+        )
+    except (PipelineError, ValueError) as exc:
+        raise SystemExit(f"portfolio: {exc}") from None
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(
+        format_table(
+            ("instance", "seed", args.objective, "makespan", "cells", "FTI"),
+            result.table_rows(),
+        )
+    )
+    print()
+    print(
+        f"winner: instance {result.winner_index} "
+        f"({args.objective} {result.winner.objective_value:g}, "
+        f"best of {len(result.outcomes)}, jobs={result.jobs}, "
+        f"{result.wall_s:.1f} s wall)"
+    )
+    print()
+    print(result.winner_result.summary())
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.pipeline import BUILTIN_FAULT_PATTERNS, BatchScenarioRunner
+    from repro.util.errors import PipelineError
+
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        raise SystemExit(
+            f"unknown protocol(s) {unknown}; choose from {sorted(PROTOCOLS)}"
+        )
+    faults = [f.strip() for f in args.faults.split(",") if f.strip()]
+    bad = [f for f in faults if f not in BUILTIN_FAULT_PATTERNS]
+    if bad:
+        raise SystemExit(
+            f"unknown fault pattern(s) {bad}; "
+            f"choose from {sorted(BUILTIN_FAULT_PATTERNS)}"
+        )
+    try:
+        runner = BatchScenarioRunner(
+            assays={name: PROTOCOLS[name]() for name in protocols},
+            fault_patterns=[BUILTIN_FAULT_PATTERNS[f] for f in faults],
+            annealing=_params(args.fast),
+            max_concurrent_ops=args.max_concurrent,
+            route=args.route,
+            verify=args.verify,
+            seed=args.seed,
+        )
+        report = runner.run(jobs=args.jobs)
+    except (PipelineError, ValueError) as exc:
+        raise SystemExit(f"batch: {exc}") from None
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.table_text())
+        print()
+        print(
+            f"{report.ok_count}/{len(report.records)} scenarios ok "
+            f"(jobs={report.jobs}, {report.wall_s:.1f} s wall)"
+        )
+    return 0 if report.ok_count == len(report.records) else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_beta_sweep
 
@@ -116,7 +193,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all_experiments
 
-    report = run_all_experiments(seed=args.seed, fast=args.fast)
+    report = run_all_experiments(seed=args.seed, fast=args.fast, jobs=args.jobs)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
@@ -165,24 +242,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.set_defaults(func=cmd_route)
 
-    for p in (flow, route):
+    portfolio = sub.add_parser(
+        "portfolio",
+        help="best-of-N seeded pipeline instances, in parallel with --jobs",
+    )
+    portfolio.add_argument("-n", type=int, default=4, help="portfolio size")
+    portfolio.add_argument(
+        "--objective", choices=("area", "makespan", "fti", "route-steps"),
+        default="area", help="winner-selection objective",
+    )
+    portfolio.add_argument(
+        "--route", action=argparse.BooleanOptionalAction, default=False,
+        help="include the droplet-routing stage in every instance",
+    )
+    portfolio.set_defaults(func=cmd_portfolio)
+
+    batch = sub.add_parser(
+        "batch", help="sweep an (assay x fault pattern) scenario grid"
+    )
+    batch.add_argument(
+        "--protocols", type=str, default="pcr,dilution,ivd",
+        help="comma-separated protocol names to sweep",
+    )
+    batch.add_argument(
+        "--faults", type=str, default="none,center",
+        help="comma-separated fault patterns (none, center, corner, pair)",
+    )
+    batch.add_argument(
+        "--route", action=argparse.BooleanOptionalAction, default=True,
+        help="include the droplet-routing stage per scenario",
+    )
+    batch.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=False,
+        help="replay each scenario on the droplet-level simulator",
+    )
+    batch.add_argument("--max-concurrent", type=int, default=3)
+    batch.set_defaults(func=cmd_batch)
+
+    for p in (flow, route, portfolio):
         p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
         p.add_argument("--beta", type=float, default=None,
                        help="enable the fault-aware two-stage placer at this beta")
         p.add_argument("--max-concurrent", type=int, default=3)
+
+    for p in (portfolio, batch):
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = in-process serial execution)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit the machine-readable report as JSON",
+        )
 
     sweep = sub.add_parser("sweep", help="Table 2 beta sweep")
     sweep.set_defaults(func=cmd_sweep)
 
     exps = sub.add_parser("experiments", help="full paper-vs-measured report")
     exps.add_argument("--out", type=str, default=None)
+    exps.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the fault-scenario grid",
+    )
     exps.set_defaults(func=cmd_experiments)
 
     explore = sub.add_parser("explore", help="binding/concurrency design space")
     explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
     explore.set_defaults(func=cmd_explore)
 
-    for p in (flow, route, sweep, exps, explore):
+    for p in (flow, route, portfolio, batch, sweep, exps, explore):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument(
             "--fast",

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.fault.mer import find_maximal_empty_rectangles, fits_any_rectangle
-from repro.geometry import Point
+from repro.geometry import Point, Rect
 from repro.grid.occupancy import OccupancyGrid
 
 if TYPE_CHECKING:  # placement imports fault's cost hooks; avoid the cycle
@@ -102,6 +102,29 @@ class FTIReport:
     def is_covered(self, p: Point | tuple[int, int]) -> bool:
         """True if cell *p* is C-covered."""
         return Point(*p) in self.covered
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary: the index, counts, and per-module analysis.
+
+        The uncovered cell list is included (sorted) rather than the
+        covered one — it is the short, actionable side of the analysis.
+        """
+        return {
+            "array": [self.width, self.height],
+            "fti": self.fti,
+            "fault_tolerance_number": self.fault_tolerance_number,
+            "cell_count": self.cell_count,
+            "method": self.method,
+            "uncovered_cells": [[p.x, p.y] for p in sorted(self.uncovered)],
+            "modules": {
+                op_id: {
+                    "feasible_positions": m.feasible_positions,
+                    "fully_relocatable": m.fully_relocatable,
+                    "stuck_cells": [[p.x, p.y] for p in sorted(m.stuck_cells)],
+                }
+                for op_id, m in self.per_module.items()
+            },
+        }
 
     def __str__(self) -> str:
         return (
@@ -313,8 +336,6 @@ def _analyze_bruteforce(
 
 def _iter_feasible(grid, pm, width, height, allow_rotation):
     """Yield every obstacle-free footprint rectangle for *pm*."""
-    from repro.geometry import Rect
-
     for w, h in _orientations(pm, allow_rotation):
         for y in range(1, height - h + 2):
             for x in range(1, width - w + 2):

@@ -1,0 +1,373 @@
+"""Batch scenario runner: sweep (assay x array size x fault pattern) grids.
+
+The runner drives one staged pipeline per (assay, array-size)
+combination, then replays only the fault-dependent suffix (routing,
+optional sim-verify) per fault pattern — the fault-independent prefix
+(bind, schedule, place, FTI) is computed once and shared through
+:meth:`SynthesisContext.fork`. Combinations are independent, so the
+sweep itself parallelizes over processes with ``jobs > 1``; per-combo
+seeds are derived up front from the batch seed, keeping every record
+identical for any worker count.
+
+All output is machine-readable: :meth:`BatchReport.to_dict` nests the
+``to_dict()`` of every result dataclass and round-trips through
+``json.dumps`` untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.assay.graph import SequencingGraph
+from repro.geometry import Point
+from repro.pipeline.context import SynthesisContext
+from repro.pipeline.pipeline import build_default_pipeline
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.synthesis.binder import ResourceBinder
+from repro.synthesis.flow import SynthesisResult
+from repro.util.errors import PipelineError, ReproError
+from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class FaultPattern:
+    """A named defect scenario, resolved against the placed array.
+
+    Built-in kinds place faults relative to the final array dimensions
+    (which are not known until placement ran); ``cells`` pins explicit
+    placement coordinates. Patterns are picklable values, so they cross
+    process boundaries with the combo spec.
+    """
+
+    name: str
+    kind: str = "cells"  # cells | none | center | corner | pair
+    cells: tuple[Point, ...] = ()
+
+    _KINDS = ("cells", "none", "center", "corner", "pair")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown fault pattern kind {self.kind!r}; choose from {self._KINDS}"
+            )
+
+    @classmethod
+    def none(cls) -> FaultPattern:
+        """The fault-free baseline scenario."""
+        return cls("none", kind="none")
+
+    @classmethod
+    def center(cls) -> FaultPattern:
+        """One dead electrode at the array center."""
+        return cls("center", kind="center")
+
+    @classmethod
+    def corner(cls) -> FaultPattern:
+        """One dead electrode at the array origin corner."""
+        return cls("corner", kind="corner")
+
+    @classmethod
+    def pair(cls) -> FaultPattern:
+        """Two dead electrodes: corner plus center."""
+        return cls("pair", kind="pair")
+
+    @classmethod
+    def explicit(cls, name: str, cells: Sequence[Point | tuple[int, int]]) -> FaultPattern:
+        """Faults at explicit placement coordinates."""
+        return cls(name, kind="cells", cells=tuple(Point(*c) for c in cells))
+
+    def resolve(self, width: int, height: int) -> tuple[Point, ...]:
+        """Concrete faulty cells on a ``width x height`` placed array."""
+        center = Point((width + 1) // 2, (height + 1) // 2)
+        corner = Point(1, 1)
+        if self.kind == "none":
+            return ()
+        if self.kind == "center":
+            return (center,)
+        if self.kind == "corner":
+            return (corner,)
+        if self.kind == "pair":
+            return (corner, center) if corner != center else (center,)
+        return self.cells
+
+
+#: Named patterns the CLI accepts for ``--faults``.
+BUILTIN_FAULT_PATTERNS: Mapping[str, FaultPattern] = {
+    "none": FaultPattern.none(),
+    "center": FaultPattern.center(),
+    "corner": FaultPattern.corner(),
+    "pair": FaultPattern.pair(),
+}
+
+
+@dataclass(frozen=True)
+class _ComboSpec:
+    """Everything a worker needs to run one (assay, array-size) combo."""
+
+    assay: str
+    graph: SequencingGraph
+    explicit_binding: Mapping[str, str] | None
+    array_size: tuple[int, int] | None
+    fault_patterns: tuple[FaultPattern, ...]
+    seed: int
+    annealing: AnnealingParams | None
+    max_concurrent_ops: int | None
+    cell_capacity: int | None
+    binding_strategy: str
+    route: bool
+    verify: bool
+
+
+@dataclass
+class ScenarioRecord:
+    """One grid cell: an assay under one array size and fault pattern."""
+
+    assay: str
+    array_size: tuple[int, int] | None
+    fault_pattern: str
+    faulty_cells: tuple[Point, ...]
+    ok: bool
+    #: True when the bind/schedule/place prefix was reused from a
+    #: sibling scenario instead of being recomputed.
+    upstream_reused: bool
+    error: str | None = None
+    result: SynthesisResult | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "assay": self.assay,
+            "array_size": list(self.array_size) if self.array_size else None,
+            "fault_pattern": self.fault_pattern,
+            "faulty_cells": [[p.x, p.y] for p in self.faulty_cells],
+            "ok": self.ok,
+            "upstream_reused": self.upstream_reused,
+            "error": self.error,
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Every scenario record of one sweep, plus sweep-level accounting."""
+
+    seed: int
+    jobs: int
+    wall_s: float = 0.0
+    records: list[ScenarioRecord] = field(default_factory=list)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "scenario_count": len(self.records),
+            "ok_count": self.ok_count,
+            "scenarios": [r.to_dict() for r in self.records],
+        }
+
+    def table_text(self) -> str:
+        """Human-readable sweep summary."""
+        rows = []
+        for r in self.records:
+            res = r.result
+            rows.append(
+                (
+                    r.assay,
+                    "auto" if r.array_size is None else f"{r.array_size[0]}x{r.array_size[1]}",
+                    r.fault_pattern,
+                    "ok" if r.ok else f"FAILED ({r.error})",
+                    f"{res.makespan:g}" if res else "-",
+                    res.area_cells if res else "-",
+                    f"{res.routability:.0%}"
+                    if res and res.routability is not None
+                    else "-",
+                    "yes" if r.upstream_reused else "no",
+                )
+            )
+        return format_table(
+            ("assay", "array", "faults", "status", "makespan", "cells",
+             "routability", "reused"),
+            rows,
+        )
+
+
+def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
+    """Run one combo: prefix once, fault-dependent suffix per pattern."""
+    core_w, core_h = spec.array_size if spec.array_size else (None, None)
+    rng = ensure_rng(spec.seed)
+    placer = SimulatedAnnealingPlacer(
+        params=spec.annealing,
+        core_width=core_w,
+        core_height=core_h,
+        seed=spawn_rng(rng),
+    )
+    pipeline = build_default_pipeline(
+        placer=placer,
+        max_concurrent_ops=spec.max_concurrent_ops,
+        cell_capacity=spec.cell_capacity,
+        binding_strategy=spec.binding_strategy,
+        seed=rng,
+        route=spec.route,
+        verify=spec.verify,
+    )
+    prefix, suffix = pipeline.split_on_faults()
+
+    records: list[ScenarioRecord] = []
+    base = SynthesisContext(graph=spec.graph, explicit_binding=spec.explicit_binding)
+    prefix_error: str | None = None
+    try:
+        prefix.run(base)
+    except ReproError as exc:  # the whole combo is unsynthesizable
+        prefix_error = f"{type(exc).__name__}: {exc}"
+
+    for i, pattern in enumerate(spec.fault_patterns):
+        if prefix_error is not None:
+            records.append(
+                ScenarioRecord(
+                    assay=spec.assay,
+                    array_size=spec.array_size,
+                    fault_pattern=pattern.name,
+                    faulty_cells=(),
+                    ok=False,
+                    # Nothing upstream completed, so nothing was reused.
+                    upstream_reused=False,
+                    error=prefix_error,
+                )
+            )
+            continue
+        assert base.placement_result is not None
+        width, height = base.placement_result.array_dims
+        cells = pattern.resolve(width, height)
+        ctx = base.fork(faulty_cells=cells)
+        error = None
+        try:
+            if suffix is not None:
+                suffix.run(ctx)
+            result = ctx.result()
+            # A verify stage that replayed the scenario and failed is a
+            # failed scenario, not a synthesized-ok one.
+            if result.sim_report is not None and not result.sim_report.completed:
+                error = f"simulation: {result.sim_report.failure_reason}"
+        except ReproError as exc:
+            result = None
+            error = f"{type(exc).__name__}: {exc}"
+        records.append(
+            ScenarioRecord(
+                assay=spec.assay,
+                array_size=spec.array_size,
+                fault_pattern=pattern.name,
+                faulty_cells=cells,
+                ok=error is None,
+                upstream_reused=i > 0,
+                error=error,
+                result=result,
+            )
+        )
+    return records
+
+
+class BatchScenarioRunner:
+    """Sweeps a scenario grid through the staged pipeline.
+
+    *assays* maps a name to ``(graph, explicit_binding_or_None)``;
+    *array_sizes* lists core areas to place into (``None`` = auto-sized);
+    *fault_patterns* lists defect scenarios layered on each placement.
+    """
+
+    def __init__(
+        self,
+        assays: Mapping[str, tuple[SequencingGraph, Mapping[str, str] | None]],
+        fault_patterns: Sequence[FaultPattern] = (
+            BUILTIN_FAULT_PATTERNS["none"],
+            BUILTIN_FAULT_PATTERNS["center"],
+        ),
+        array_sizes: Sequence[tuple[int, int] | None] = (None,),
+        annealing: AnnealingParams | None = None,
+        max_concurrent_ops: int | None = 3,
+        cell_capacity: int | None = None,
+        binding_strategy: str = ResourceBinder.FASTEST,
+        route: bool = True,
+        verify: bool = False,
+        seed: int = 7,
+    ) -> None:
+        if not assays:
+            raise PipelineError("batch sweep needs at least one assay")
+        if not fault_patterns:
+            raise PipelineError("batch sweep needs at least one fault pattern")
+        names = [p.name for p in fault_patterns]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate fault pattern names: {names}")
+        injecting = [
+            p.name
+            for p in fault_patterns
+            if not (p.kind == "none" or (p.kind == "cells" and not p.cells))
+        ]
+        if injecting and not (route or verify):
+            # Without a fault-consuming stage the defect scenarios would
+            # be reported "ok" without ever being exercised.
+            raise PipelineError(
+                f"fault patterns {injecting} need a fault-consuming stage; "
+                "enable route=True or verify=True"
+            )
+        self.assays = dict(assays)
+        self.fault_patterns = tuple(fault_patterns)
+        self.array_sizes = tuple(array_sizes)
+        self.annealing = annealing
+        self.max_concurrent_ops = max_concurrent_ops
+        self.cell_capacity = cell_capacity
+        self.binding_strategy = binding_strategy
+        self.route = route
+        self.verify = verify
+        self.seed = seed
+
+    def _combo_specs(self) -> list[_ComboSpec]:
+        """One spec per (assay, array size), with pre-derived seeds."""
+        rng = ensure_rng(self.seed)
+        specs = []
+        for assay, (graph, binding) in self.assays.items():
+            for size in self.array_sizes:
+                specs.append(
+                    _ComboSpec(
+                        assay=assay,
+                        graph=graph,
+                        explicit_binding=binding,
+                        array_size=size,
+                        fault_patterns=self.fault_patterns,
+                        seed=spawn_seed(rng),
+                        annealing=self.annealing,
+                        max_concurrent_ops=self.max_concurrent_ops,
+                        cell_capacity=self.cell_capacity,
+                        binding_strategy=self.binding_strategy,
+                        route=self.route,
+                        verify=self.verify,
+                    )
+                )
+        return specs
+
+    def run(self, jobs: int = 1) -> BatchReport:
+        """Execute the whole grid; ``jobs>1`` parallelizes over combos."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        specs = self._combo_specs()
+        t0 = time.perf_counter()
+        if jobs == 1 or len(specs) == 1:
+            per_combo = [_run_combo(spec) for spec in specs]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+                per_combo = list(pool.map(_run_combo, specs))
+        report = BatchReport(
+            seed=self.seed,
+            jobs=jobs,
+            wall_s=time.perf_counter() - t0,
+            records=[rec for combo in per_combo for rec in combo],
+        )
+        return report

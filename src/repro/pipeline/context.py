@@ -1,0 +1,122 @@
+"""The shared state a synthesis pipeline operates on.
+
+A :class:`SynthesisContext` carries the problem description (sequencing
+graph, explicit binding, known-faulty cells) and accumulates stage
+products (binding, schedule, placement, FTI report, routing plan,
+simulation report) as the pipeline advances. It is deliberately a plain
+data holder — every field is picklable, so a context can cross a
+process boundary for portfolio search, and :meth:`fork` lets the batch
+runner reuse an upstream prefix for many downstream scenarios without
+re-deriving it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.assay.graph import SequencingGraph
+from repro.geometry import Point
+from repro.util.errors import PipelineError
+
+if TYPE_CHECKING:
+    from repro.fault.fti import FTIReport
+    from repro.placement.sa_placer import PlacementResult
+    from repro.routing.plan import RoutingPlan
+    from repro.sim.engine import SimulationReport
+    from repro.synthesis.binder import Binding
+    from repro.synthesis.flow import SynthesisResult
+    from repro.synthesis.schedule import Schedule
+
+
+def normalize_faulty_cells(
+    cells: Iterable[Point | tuple[int, int]],
+) -> tuple[Point, ...]:
+    """Canonicalize faulty-cell input to a tuple of :class:`Point`."""
+    return tuple(Point(*c) for c in cells)
+
+
+@dataclass
+class SynthesisContext:
+    """Everything a pipeline reads and writes while synthesizing one assay."""
+
+    # -- problem description --------------------------------------------------
+    graph: SequencingGraph
+    explicit_binding: Mapping[str, str] | None = None
+    #: Known-defective electrodes (placement coordinates) the routing
+    #: stage must avoid. Only fault-dependent stages consume these.
+    faulty_cells: tuple[Point, ...] = ()
+
+    # -- stage products -------------------------------------------------------
+    binding: Binding | None = None
+    schedule: Schedule | None = None
+    placement_result: PlacementResult | None = None
+    fti_report: FTIReport | None = None
+    routing_plan: RoutingPlan | None = None
+    sim_report: SimulationReport | None = None
+
+    #: Wall-clock seconds per completed stage, in execution order.
+    stage_timings: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Canonicalize on every construction path (including fork), so
+        # stages can rely on Point coordinates.
+        self.faulty_cells = normalize_faulty_cells(self.faulty_cells)
+
+    @property
+    def runtime_s(self) -> float:
+        """Total synthesis time across all completed stages."""
+        return sum(self.stage_timings.values())
+
+    def require(self, *fields: str) -> None:
+        """Raise :class:`PipelineError` unless every named product exists.
+
+        Stages call this on entry so a misassembled pipeline fails with
+        the missing prerequisite's name instead of an ``AttributeError``
+        deep inside an algorithm.
+        """
+        missing = [name for name in fields if getattr(self, name) is None]
+        if missing:
+            raise PipelineError(
+                f"stage prerequisites missing from context: {', '.join(missing)} "
+                "(is the pipeline missing an upstream stage?)"
+            )
+
+    def fork(self, **changes) -> SynthesisContext:
+        """A shallow copy with *changes* applied.
+
+        Stage products are shared by reference — they are immutable from
+        the pipeline's point of view — while the timing dict is copied
+        so the fork accumulates its own downstream timings. This is the
+        batch runner's reuse primitive: fork the post-placement context
+        once per fault scenario and run only the downstream stages.
+        """
+        clone = dataclasses.replace(self, **changes)
+        if "stage_timings" not in changes:
+            clone.stage_timings = dict(self.stage_timings)
+        return clone
+
+    def result(self) -> SynthesisResult:
+        """Bundle the accumulated products into a :class:`SynthesisResult`.
+
+        Requires the mandatory stages (bind, schedule, place) to have
+        run; the FTI report, routing plan, and simulation report stay
+        ``None`` when their stages were not part of the pipeline.
+        """
+        from repro.synthesis.flow import SynthesisResult
+
+        self.require("binding", "schedule", "placement_result")
+        assert self.binding and self.schedule and self.placement_result
+        return SynthesisResult(
+            graph=self.graph,
+            binding=self.binding,
+            schedule=self.schedule,
+            placement_result=self.placement_result,
+            fti_report=self.fti_report,
+            runtime_s=self.runtime_s,
+            routing_plan=self.routing_plan,
+            sim_report=self.sim_report,
+            stage_timings=dict(self.stage_timings),
+        )

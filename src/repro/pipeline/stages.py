@@ -1,0 +1,183 @@
+"""Pluggable pipeline stages: bind, schedule, place, route, verify-by-sim.
+
+Each stage is a small configured transform over a
+:class:`~repro.pipeline.context.SynthesisContext`: it reads the
+products of upstream stages, computes its own, and writes them back.
+The :class:`Stage` protocol is structural — anything with a ``name``,
+a ``uses_faults`` flag, and a ``run(context)`` method slots into a
+:class:`~repro.pipeline.pipeline.Pipeline`, so experiments can insert
+custom analyses (or replace a stage wholesale) without touching the
+flow.
+
+``uses_faults`` marks whether the stage's output depends on the
+context's ``faulty_cells``. Stages that do not (bind, schedule, place)
+form a reusable prefix: the batch scenario runner computes them once
+per assay/array combination and forks the context per fault pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+from repro.fault.fti import compute_fti
+from repro.pipeline.context import SynthesisContext
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.routing.synthesis import RoutingSynthesizer
+from repro.sim.engine import BiochipSimulator
+from repro.synthesis.binder import ResourceBinder
+from repro.synthesis.scheduler import integerized, list_schedule
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """Structural interface every pipeline stage satisfies."""
+
+    #: Unique name within a pipeline; keys the per-stage timings.
+    name: str
+    #: True if the stage's output depends on ``context.faulty_cells``.
+    uses_faults: bool
+
+    def run(self, context: SynthesisContext) -> None:
+        """Consume upstream products from *context* and write our own."""
+        ...
+
+
+class BindStage:
+    """Behavioral -> architectural: map operations to module specs."""
+
+    name = "bind"
+    uses_faults = False
+
+    def __init__(
+        self,
+        binder: ResourceBinder | None = None,
+        strategy: str = ResourceBinder.FASTEST,
+    ) -> None:
+        self.binder = binder if binder is not None else ResourceBinder()
+        self.strategy = strategy
+
+    def run(self, context: SynthesisContext) -> None:
+        context.binding = self.binder.bind(
+            context.graph, explicit=context.explicit_binding, strategy=self.strategy
+        )
+
+
+class ScheduleStage:
+    """Resource-constrained list scheduling on the bound graph."""
+
+    name = "schedule"
+    uses_faults = False
+
+    def __init__(
+        self,
+        max_concurrent_ops: int | None = 3,
+        cell_capacity: int | None = None,
+    ) -> None:
+        self.max_concurrent_ops = max_concurrent_ops
+        self.cell_capacity = cell_capacity
+
+    def run(self, context: SynthesisContext) -> None:
+        context.require("binding")
+        assert context.binding is not None
+        footprints = {
+            op_id: spec.footprint_area for op_id, spec in context.binding.items()
+        }
+        context.schedule = integerized(
+            list_schedule(
+                context.graph,
+                context.binding.durations(),
+                max_concurrent_ops=self.max_concurrent_ops,
+                cell_capacity=self.cell_capacity,
+                footprints=footprints,
+            )
+        )
+
+
+class PlaceStage:
+    """Geometry-level synthesis: module placement plus FTI analysis."""
+
+    name = "place"
+    uses_faults = False
+
+    def __init__(
+        self,
+        placer=None,
+        compute_fti_report: bool = True,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        self.placer = (
+            placer if placer is not None else SimulatedAnnealingPlacer(seed=seed)
+        )
+        self.compute_fti_report = compute_fti_report
+
+    def run(self, context: SynthesisContext) -> None:
+        context.require("binding", "schedule")
+        placed = self.placer.place(context.schedule, context.binding)
+        # TwoStagePlacer returns a TwoStageResult; unwrap uniformly.
+        placement_result = placed.stage2 if hasattr(placed, "stage2") else placed
+        context.placement_result = placement_result
+        if self.compute_fti_report:
+            if hasattr(placed, "fti_stage2"):
+                context.fti_report = placed.fti_stage2
+            else:
+                context.fti_report = compute_fti(placement_result.placement)
+
+
+class RouteStage:
+    """Concurrent droplet-routing synthesis over the placed assay."""
+
+    name = "route"
+    uses_faults = True
+
+    def __init__(self, synthesizer: RoutingSynthesizer | None = None) -> None:
+        self.synthesizer = (
+            synthesizer if synthesizer is not None else RoutingSynthesizer()
+        )
+
+    def run(self, context: SynthesisContext) -> None:
+        context.require("schedule", "placement_result")
+        assert context.placement_result is not None
+        context.routing_plan = self.synthesizer.synthesize(
+            context.graph,
+            context.schedule,
+            context.placement_result.placement,
+            faulty_cells=context.faulty_cells,
+        )
+
+
+class SimVerifyStage:
+    """Verify the synthesized configuration by droplet-level replay.
+
+    Runs the discrete-event simulator over the placed (and, when
+    present, routed) assay. The context's ``faulty_cells`` are injected
+    as time-zero faults — translated from placement to simulator
+    coordinates — so a defect scenario is genuinely exercised (module
+    health checks, reconfiguration, fault-avoiding reroutes), not just
+    threaded through. ``strict=False`` by default so an unroutable
+    corner case surfaces as a failed report in batch output instead of
+    aborting a whole sweep.
+    """
+
+    name = "verify"
+    uses_faults = True
+
+    def __init__(self, margin: int = 2, strict: bool = False) -> None:
+        self.margin = margin
+        self.strict = strict
+
+    def run(self, context: SynthesisContext) -> None:
+        context.require("binding", "schedule", "placement_result")
+        assert context.placement_result is not None
+        placement = context.placement_result.placement
+        simulator = BiochipSimulator(
+            context.graph,
+            context.schedule,
+            context.binding,
+            placement,
+            margin=self.margin,
+            strict=self.strict,
+            routing_plan=context.routing_plan,
+        )
+        faults = [(0.0, simulator.sim_cell(p)) for p in context.faulty_cells]
+        context.sim_report = simulator.run(faults=faults)

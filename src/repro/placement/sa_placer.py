@@ -55,6 +55,26 @@ class PlacementResult:
         """Bounding-array (width, height)."""
         return self.placement.array_dims()
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary: dims, areas, per-module origins, diagnostics."""
+        w, h = self.array_dims
+        return {
+            "array": [w, h],
+            "area_cells": self.area_cells,
+            "area_mm2": self.area_mm2,
+            "repaired": self.repaired,
+            "runtime_s": self.runtime_s,
+            "stop_reason": self.stats.stop_reason,
+            "modules": {
+                pm.op_id: {
+                    "origin": [pm.x, pm.y],
+                    "size": [pm.footprint.width, pm.footprint.height],
+                    "interval": [pm.start, pm.stop],
+                }
+                for pm in self.placement
+            },
+        }
+
     def __str__(self) -> str:
         w, h = self.array_dims
         return (

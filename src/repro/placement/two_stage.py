@@ -68,6 +68,19 @@ class TwoStageResult:
             return math.inf if self.fti_stage2.fti > 0 else 0.0
         return 100.0 * (self.fti_stage2.fti / self.fti_stage1.fti - 1.0)
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary of both stages and the paper's deltas."""
+        return {
+            "beta": self.beta,
+            "stage1": self.stage1.to_dict(),
+            "stage2": self.stage2.to_dict(),
+            "fti_stage1": self.fti_stage1.fti,
+            "fti_stage2": self.fti_stage2.fti,
+            "area_increase_pct": self.area_increase_pct,
+            "fti_increase_pct": self.fti_increase_pct,
+            "runtime_s": self.runtime_s,
+        }
+
     def __str__(self) -> str:
         return (
             f"TwoStageResult(beta={self.beta:g}: "

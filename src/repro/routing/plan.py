@@ -378,6 +378,40 @@ class RoutingPlan:
             ("net", "epoch", "route", "moves", "waits", "latency"), rows
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe plan summary: aggregates plus per-net accounting.
+
+        Trajectories are omitted on purpose — batch output wants the
+        metrics, not megabytes of per-step coordinates; the plan object
+        itself remains the source of truth for replay.
+        """
+        return {
+            "array": [self.width, self.height],
+            "margin": self.margin,
+            "epochs": len(self.epochs),
+            "routed_count": self.routed_count,
+            "failed_count": self.failed_count,
+            "routability": self.routability,
+            "makespan_steps": self.makespan_steps,
+            "total_route_steps": self.total_route_steps,
+            "total_wait_steps": self.total_wait_steps,
+            "max_net_latency": self.max_net_latency,
+            "nets": [
+                {
+                    "net_id": rn.net.net_id,
+                    "epoch_time_s": epoch.time_s,
+                    "source": [rn.net.source.x, rn.net.source.y],
+                    "goal": [rn.net.goal.x, rn.net.goal.y],
+                    "moves": rn.moves,
+                    "waits": rn.waits,
+                    "latency": rn.latency,
+                }
+                for epoch in self.epochs
+                for rn in epoch.nets
+            ],
+            "failed_nets": [net.net_id for net in self.failed],
+        }
+
     def summary(self) -> str:
         """One-line account used by the synthesis-flow report."""
         return (

@@ -21,6 +21,7 @@ unroutable transport, or a failed relocation all surface as
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -85,6 +86,21 @@ class SimulationReport:
     def events_of_kind(self, kind: str) -> list[SimEvent]:
         """Log entries of one kind, in time order."""
         return [e for e in self.events if e.kind == kind]
+
+    def to_dict(self) -> dict:
+        """JSON-safe run summary: outcome, timing, transport accounting."""
+        return {
+            "completed": self.completed,
+            "failure_reason": self.failure_reason,
+            "nominal_makespan_s": self.nominal_makespan,
+            "realized_makespan_s": self.realized_makespan,
+            "delay_s": self.delay_s,
+            "total_transport_cells": self.total_transport_cells,
+            "planned_transports": self.planned_transports,
+            "relocations": len(self.relocations),
+            "events": len(self.events),
+            "realized_finish": dict(self.realized_finish),
+        }
 
     def summary(self) -> str:
         """Short human-readable account of the run."""
@@ -179,6 +195,17 @@ class BiochipSimulator:
         return cell
 
     # -- public API -------------------------------------------------------------------
+
+    def sim_cell(self, p: Point | tuple[int, int]) -> Point:
+        """Map a placement-coordinate cell to simulator coordinates.
+
+        The simulator normalizes the placement and pads it by
+        ``margin``; callers aiming a fault at a placement cell (e.g.
+        the pipeline's verify stage) use this instead of re-deriving
+        the offset.
+        """
+        dx, dy = self._norm_offset
+        return Point(p[0] + dx, p[1] + dy)
 
     def run(self, faults: Iterable[tuple[float, Point | tuple[int, int]]] = ()) -> SimulationReport:
         """Execute the assay, injecting each ``(time, cell)`` fault.
@@ -527,8 +554,6 @@ class BiochipSimulator:
         return None
 
     def _nearest_safe_cell(self, start: Point, safe) -> Point | None:
-        from collections import deque
-
         seen = {start}
         queue = deque([start])
         while queue:

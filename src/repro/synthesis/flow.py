@@ -6,17 +6,25 @@ placement, here with optional fault-tolerance refinement) -> optional
 routing synthesis (concurrent droplet-routing plan, ``route=True``).
 One call takes an assay from protocol description to a placed,
 FTI-scored — and, when requested, fully routed — configuration.
+
+``SynthesisFlow`` is a thin facade: it assembles the equivalent staged
+:class:`~repro.pipeline.pipeline.Pipeline` (bind -> schedule -> place
+[-> route]) and runs it over a
+:class:`~repro.pipeline.context.SynthesisContext`. Callers who need
+stage-level control — inserting custom stages, portfolio search, batch
+scenario sweeps — use :mod:`repro.pipeline` directly; for a fixed seed
+both entry points produce identical results.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.assay.graph import SequencingGraph
-from repro.fault.fti import FTIReport, compute_fti
+from repro.fault.fti import FTIReport
 from repro.geometry import Point
 from repro.modules.library import ModuleLibrary
 from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
@@ -25,8 +33,10 @@ from repro.routing.plan import RoutingPlan
 from repro.routing.synthesis import RoutingSynthesizer
 from repro.synthesis.binder import Binding, ResourceBinder
 from repro.synthesis.schedule import Schedule
-from repro.synthesis.scheduler import integerized, list_schedule
-from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.rng import ensure_rng
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimulationReport
 
 
 @dataclass
@@ -40,6 +50,10 @@ class SynthesisResult:
     fti_report: FTIReport | None
     runtime_s: float
     routing_plan: RoutingPlan | None = None
+    #: Droplet-level replay report, when the pipeline's verify stage ran.
+    sim_report: SimulationReport | None = None
+    #: Wall-clock seconds per pipeline stage, in execution order.
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -71,6 +85,37 @@ class SynthesisResult:
         """Fraction of transport nets the router realized, if routed."""
         return None if self.routing_plan is None else self.routing_plan.routability
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary of every stage's product.
+
+        Only primitives, lists, and dicts — ``json.dumps`` accepts the
+        result unchanged, which is what the batch runner and the CLI's
+        ``--json`` mode emit.
+        """
+        width, height = self.placement_result.array_dims
+        return {
+            "assay": self.graph.name,
+            "operations": len(self.graph),
+            "makespan_s": self.makespan,
+            "array": [width, height],
+            "area_cells": self.area_cells,
+            "area_mm2": self.placement_result.area_mm2,
+            "fti": self.fti,
+            "runtime_s": self.runtime_s,
+            "stage_timings": dict(self.stage_timings),
+            "schedule": self.schedule.to_dict(),
+            "placement": self.placement_result.to_dict(),
+            "fti_report": (
+                self.fti_report.to_dict() if self.fti_report is not None else None
+            ),
+            "routing": (
+                self.routing_plan.to_dict() if self.routing_plan is not None else None
+            ),
+            "simulation": (
+                self.sim_report.to_dict() if self.sim_report is not None else None
+            ),
+        }
+
     def summary(self) -> str:
         """One-paragraph human-readable report."""
         w, h = self.placement_result.array_dims
@@ -89,12 +134,17 @@ class SynthesisResult:
             )
         if self.routing_plan is not None:
             lines.append(f"routing: {self.routing_plan.summary()}")
+        if self.sim_report is not None:
+            status = "completed" if self.sim_report.completed else "FAILED"
+            lines.append(
+                f"simulation: {status}, realized makespan "
+                f"{self.sim_report.realized_makespan:g} s"
+            )
         return "\n".join(lines)
 
 
 class SynthesisFlow:
-    """Chains binder -> scheduler -> placer (-> router) with sensible
-    defaults."""
+    """One-call facade over the staged pipeline, with sensible defaults."""
 
     def __init__(
         self,
@@ -108,15 +158,13 @@ class SynthesisFlow:
         route: bool = False,
         routing_synthesizer: RoutingSynthesizer | None = None,
     ) -> None:
+        from repro.pipeline.pipeline import build_default_placer, build_default_pipeline
+
         # One explicit generator per flow instance: concurrent flows
         # must not share RNG state through the global random module.
         self.rng = ensure_rng(seed)
         self.binder = ResourceBinder(library)
-        self.placer = (
-            placer
-            if placer is not None
-            else SimulatedAnnealingPlacer(seed=spawn_rng(self.rng))
-        )
+        self.placer = placer if placer is not None else build_default_placer(self.rng)
         self.max_concurrent_ops = max_concurrent_ops
         self.cell_capacity = cell_capacity
         self.binding_strategy = binding_strategy
@@ -124,6 +172,16 @@ class SynthesisFlow:
         self.route = route
         self.routing_synthesizer = (
             routing_synthesizer if routing_synthesizer is not None else RoutingSynthesizer()
+        )
+        self.pipeline = build_default_pipeline(
+            binder=self.binder,
+            placer=self.placer,
+            max_concurrent_ops=max_concurrent_ops,
+            cell_capacity=cell_capacity,
+            binding_strategy=binding_strategy,
+            compute_fti_report=compute_fti_report,
+            route=route,
+            routing_synthesizer=self.routing_synthesizer,
         )
 
     def run(
@@ -137,40 +195,12 @@ class SynthesisFlow:
         *faulty_cells* are known-defective electrodes the routing stage
         must avoid (they only matter with ``route=True``).
         """
-        t0 = time.perf_counter()
-        binding = self.binder.bind(
-            graph, explicit=explicit_binding, strategy=self.binding_strategy
-        )
-        footprints = {op_id: spec.footprint_area for op_id, spec in binding.items()}
-        schedule = integerized(
-            list_schedule(
-                graph,
-                binding.durations(),
-                max_concurrent_ops=self.max_concurrent_ops,
-                cell_capacity=self.cell_capacity,
-                footprints=footprints,
-            )
-        )
-        placed = self.placer.place(schedule, binding)
-        # TwoStagePlacer returns a TwoStageResult; unwrap uniformly.
-        placement_result = placed.stage2 if hasattr(placed, "stage2") else placed
-        fti_report = None
-        if self.compute_fti_report:
-            if hasattr(placed, "fti_stage2"):
-                fti_report = placed.fti_stage2
-            else:
-                fti_report = compute_fti(placement_result.placement)
-        routing_plan = None
-        if self.route:
-            routing_plan = self.routing_synthesizer.synthesize(
-                graph, schedule, placement_result.placement, faulty_cells=faulty_cells
-            )
-        return SynthesisResult(
+        from repro.pipeline.context import SynthesisContext, normalize_faulty_cells
+
+        context = SynthesisContext(
             graph=graph,
-            binding=binding,
-            schedule=schedule,
-            placement_result=placement_result,
-            fti_report=fti_report,
-            runtime_s=time.perf_counter() - t0,
-            routing_plan=routing_plan,
+            explicit_binding=explicit_binding,
+            faulty_cells=normalize_faulty_cells(faulty_cells),
         )
+        self.pipeline.run(context)
+        return context.result()

@@ -98,6 +98,15 @@ class Schedule:
         profile = self.cell_demand_profile(footprints)
         return max((d for _, d in profile), default=0)
 
+    def to_dict(self) -> dict:
+        """JSON-safe mapping: per-op ``[start, stop]`` plus the makespan."""
+        return {
+            "makespan_s": self.makespan,
+            "operations": {
+                op_id: [iv.start, iv.stop] for op_id, iv in self.items()
+            },
+        }
+
     def validate_precedence(self, graph: SequencingGraph) -> None:
         """Check every dependency finishes before its consumer starts.
 

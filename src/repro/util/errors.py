@@ -31,3 +31,8 @@ class RoutingError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the discrete-time biochip simulator reaches an invalid state."""
+
+
+class PipelineError(ReproError):
+    """Raised when a synthesis pipeline is misassembled or a stage's
+    prerequisites are missing from the context."""

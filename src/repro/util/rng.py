@@ -30,10 +30,22 @@ def ensure_rng(seed_or_rng: int | random.Random | None) -> random.Random:
     return random.Random(seed_or_rng)
 
 
+def spawn_seed(rng: random.Random) -> int:
+    """Draw one 64-bit child seed from *rng*.
+
+    The child seed is a plain ``int``, so it crosses process boundaries
+    (pickled into a worker) without dragging generator state along. Two
+    parents seeded identically spawn identical seed sequences, which is
+    what makes portfolio search reproducible regardless of how many
+    workers execute the instances.
+    """
+    return rng.getrandbits(64)
+
+
 def spawn_rng(rng: random.Random) -> random.Random:
     """Derive an independent child generator from *rng*.
 
     Used when a component needs its own stream (e.g. fault injection
     inside a simulation) without perturbing the parent's sequence.
     """
-    return random.Random(rng.getrandbits(64))
+    return random.Random(spawn_seed(rng))

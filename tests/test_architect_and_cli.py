@@ -130,3 +130,75 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "verification: conflict-free" in out
+
+
+class TestPortfolioCommand:
+    def test_portfolio_runs_and_reports_winner(self, capsys):
+        rc = main(["portfolio", "--protocol", "pcr", "-n", "2",
+                   "--seed", "7", "--fast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "winner: instance" in out
+        assert "assay: pcr-mixing-stage" in out
+
+    def test_portfolio_json_output(self, capsys):
+        import json
+
+        rc = main(["portfolio", "--protocol", "pcr", "-n", "2",
+                   "--seed", "7", "--fast", "--json"])
+        assert rc == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["objective"] == "area"
+        assert len(d["instances"]) == 2
+        assert d["instances"][d["winner_index"]]["result"]["area_cells"] > 0
+
+    def test_portfolio_objective_flag(self, capsys):
+        rc = main(["portfolio", "--protocol", "pcr", "-n", "2", "--seed", "7",
+                   "--objective", "fti", "--fast"])
+        assert rc == 0
+        assert "fti" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_grid_runs(self, capsys):
+        rc = main(["batch", "--protocols", "pcr,dilution",
+                   "--faults", "none,center", "--seed", "7", "--fast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pcr" in out and "dilution" in out
+        assert "scenarios ok" in out
+
+    def test_batch_json_round_trips(self, capsys):
+        import json
+
+        rc = main(["batch", "--protocols", "pcr", "--faults", "none,corner",
+                   "--seed", "7", "--fast", "--json"])
+        assert rc == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["scenario_count"] == 2
+        assert d["ok_count"] == 2
+        assert json.loads(json.dumps(d)) == d
+
+    def test_batch_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--protocols", "warp", "--fast"])
+
+    def test_batch_rejects_unknown_fault_pattern(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--protocols", "pcr", "--faults", "meteor", "--fast"])
+
+    def test_batch_rejects_vacuous_fault_sweep_cleanly(self):
+        # --no-route without --verify leaves no stage that consumes the
+        # faults; must exit with a message, not a traceback or a false ok.
+        with pytest.raises(SystemExit, match="fault-consuming"):
+            main(["batch", "--protocols", "pcr", "--faults", "none,center",
+                  "--no-route", "--fast"])
+
+    def test_batch_rejects_empty_protocol_list_cleanly(self):
+        with pytest.raises(SystemExit, match="at least one assay"):
+            main(["batch", "--protocols", ",", "--fast"])
+
+    def test_portfolio_unproducible_objective_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="route=True"):
+            main(["portfolio", "--protocol", "pcr", "-n", "2", "--seed", "7",
+                  "--objective", "route-steps", "--fast"])

@@ -1,0 +1,212 @@
+"""Tests for the batch scenario runner: grids, reuse, JSON output."""
+
+import json
+
+import pytest
+
+from repro.assay.protocols.dilution import build_serial_dilution_graph
+from repro.assay.protocols.pcr import PCR_BINDING, build_pcr_mixing_graph
+from repro.assay.synthetic import build_mix_tree
+from repro.geometry import Point
+from repro.pipeline import (
+    BUILTIN_FAULT_PATTERNS,
+    BatchScenarioRunner,
+    FaultPattern,
+)
+from repro.placement.annealer import AnnealingParams
+from repro.util.errors import PipelineError
+
+
+def grid_runner(**kwargs):
+    defaults = dict(
+        assays={
+            "pcr": (build_pcr_mixing_graph(), PCR_BINDING),
+            "dilution": (build_serial_dilution_graph(3), None),
+            "tree8": (build_mix_tree(8), None),
+        },
+        fault_patterns=[FaultPattern.none(), FaultPattern.center()],
+        annealing=AnnealingParams.fast(),
+        route=True,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return BatchScenarioRunner(**defaults)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # The acceptance grid: 3 assays x 2 fault patterns.
+    return grid_runner().run(jobs=1)
+
+
+class TestFaultPatterns:
+    def test_builtin_registry(self):
+        assert set(BUILTIN_FAULT_PATTERNS) == {"none", "center", "corner", "pair"}
+
+    def test_resolution_against_array_dims(self):
+        assert FaultPattern.none().resolve(7, 9) == ()
+        assert FaultPattern.center().resolve(7, 9) == (Point(4, 5),)
+        assert FaultPattern.corner().resolve(7, 9) == (Point(1, 1),)
+        assert FaultPattern.pair().resolve(7, 9) == (Point(1, 1), Point(4, 5))
+
+    def test_pair_degenerates_on_a_unit_array(self):
+        assert FaultPattern.pair().resolve(1, 1) == (Point(1, 1),)
+
+    def test_explicit_cells(self):
+        p = FaultPattern.explicit("mine", [(2, 3), Point(4, 4)])
+        assert p.resolve(10, 10) == (Point(2, 3), Point(4, 4))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault pattern kind"):
+            FaultPattern("bad", kind="diagonal")
+
+
+class TestGridShape:
+    def test_full_grid_covered(self, report):
+        combos = {(r.assay, r.fault_pattern) for r in report.records}
+        assert combos == {
+            (a, f)
+            for a in ("pcr", "dilution", "tree8")
+            for f in ("none", "center")
+        }
+
+    def test_all_scenarios_synthesized(self, report):
+        assert report.ok_count == len(report.records) == 6
+        for r in report.records:
+            assert r.result is not None
+            assert r.result.routing_plan is not None
+
+    def test_fault_free_scenarios_have_no_cells(self, report):
+        for r in report.records:
+            if r.fault_pattern == "none":
+                assert r.faulty_cells == ()
+            else:
+                assert len(r.faulty_cells) == 1
+
+    def test_routed_plans_avoid_the_faulty_cells(self, report):
+        for r in report.records:
+            if not r.faulty_cells or r.result is None:
+                continue
+            plan = r.result.routing_plan
+            shifted = {
+                Point(p.x + plan.margin, p.y + plan.margin) for p in r.faulty_cells
+            }
+            for rn in plan.nets:
+                assert not shifted.intersection(rn.cells), (
+                    f"{r.assay}/{r.fault_pattern}: net {rn.net.net_id} "
+                    f"crosses a faulty cell"
+                )
+
+
+class TestUpstreamReuse:
+    def test_prefix_computed_once_per_assay(self, report):
+        for assay in ("pcr", "dilution", "tree8"):
+            recs = [r for r in report.records if r.assay == assay]
+            assert [r.upstream_reused for r in recs] == [False, True]
+
+    def test_reused_scenarios_share_identical_placements(self, report):
+        for assay in ("pcr", "dilution", "tree8"):
+            recs = [r for r in report.records if r.assay == assay]
+            placements = [
+                {
+                    pm.op_id: (pm.x, pm.y)
+                    for pm in r.result.placement_result.placement
+                }
+                for r in recs
+            ]
+            assert placements[0] == placements[1]
+            # Reuse is by reference — the same PlacementResult object.
+            assert (
+                recs[0].result.placement_result is recs[1].result.placement_result
+            )
+
+    def test_downstream_products_are_per_scenario(self, report):
+        recs = [r for r in report.records if r.assay == "pcr"]
+        assert recs[0].result.routing_plan is not recs[1].result.routing_plan
+
+
+class TestJsonOutput:
+    def test_report_round_trips_through_json(self, report):
+        d = report.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["scenario_count"] == 6
+        assert d["ok_count"] == 6
+        assert len(d["scenarios"]) == 6
+
+    def test_scenario_dict_contents(self, report):
+        s = report.to_dict()["scenarios"][0]
+        assert s["assay"] == "pcr"
+        assert s["fault_pattern"] == "none"
+        assert s["ok"] is True
+        assert s["result"]["routing"]["routability"] == 1.0
+        assert s["result"]["fti"] is not None
+
+    def test_table_text_renders_every_row(self, report):
+        text = report.table_text()
+        for assay in ("pcr", "dilution", "tree8"):
+            assert assay in text
+        assert "100%" in text
+
+
+class TestParallelDeterminism:
+    def test_jobs_do_not_change_the_records(self, report):
+        parallel = grid_runner().run(jobs=2)
+
+        def key(rep):
+            return [
+                (
+                    r.assay,
+                    r.fault_pattern,
+                    r.ok,
+                    r.result.area_cells if r.result else None,
+                    r.result.total_route_steps if r.result else None,
+                )
+                for r in rep.records
+            ]
+
+        assert key(parallel) == key(report)
+
+
+class TestValidation:
+    def test_empty_assays_rejected(self):
+        with pytest.raises(PipelineError, match="at least one assay"):
+            grid_runner(assays={})
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(PipelineError, match="at least one fault pattern"):
+            grid_runner(fault_patterns=[])
+
+    def test_duplicate_pattern_names_rejected(self):
+        with pytest.raises(PipelineError, match="duplicate"):
+            grid_runner(
+                fault_patterns=[FaultPattern.none(), FaultPattern.none()]
+            )
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            grid_runner().run(jobs=0)
+
+    def test_fault_patterns_without_consuming_stage_rejected(self):
+        # route=False, verify=False would report defect scenarios "ok"
+        # without ever exercising them — refuse the configuration.
+        with pytest.raises(PipelineError, match="fault-consuming stage"):
+            grid_runner(route=False, verify=False)
+
+    def test_fault_free_sweep_allowed_without_fault_stages(self):
+        runner = grid_runner(
+            route=False, verify=False, fault_patterns=[FaultPattern.none()]
+        )
+        report = runner.run(jobs=1)
+        assert report.ok_count == len(report.records) == 3
+
+    def test_verify_only_sweep_exercises_faults(self):
+        runner = grid_runner(
+            assays={"pcr": (build_pcr_mixing_graph(), PCR_BINDING)},
+            route=False,
+            verify=True,
+        )
+        report = runner.run(jobs=1)
+        by_pattern = {r.fault_pattern: r for r in report.records}
+        assert by_pattern["center"].result.sim_report is not None
+        assert by_pattern["center"].result.sim_report.events_of_kind("fault")
+        assert not by_pattern["none"].result.sim_report.events_of_kind("fault")
