@@ -38,8 +38,13 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+_json_records: dict[str, dict] = {}
+
+
 @pytest.mark.parametrize("assay", ["pcr", "ivd", "dilution"])
-def test_portfolio_parallel_speedup(benchmark, report, make_portfolio_spec, assay):
+def test_portfolio_parallel_speedup(
+    benchmark, report, bench_json, make_portfolio_spec, assay
+):
     spec = make_portfolio_spec(assay, route=True)
 
     def serial():
@@ -78,6 +83,20 @@ def test_portfolio_parallel_speedup(benchmark, report, make_portfolio_spec, assa
             *(f"{parallel[j].wall_s:.2f} ({speedups[j]:.2f}x)" for j in JOB_COUNTS),
         )
     )
+
+    _json_records[assay] = {
+        "n": PORTFOLIO_N,
+        "best_area": baseline.winner.objective_value,
+        "serial_wall_s": baseline.wall_s,
+        "parallel": {
+            str(j): {"wall_s": parallel[j].wall_s, "speedup": speedups[j]}
+            for j in JOB_COUNTS
+        },
+        "usable_cores": cores,
+    }
+    # Rewritten per test (the writer merges sections), so a partial or
+    # interrupted run still leaves the assays that did complete.
+    bench_json("portfolio_parallel", dict(_json_records))
 
     if len(_rows) == 3:
         report(

@@ -13,12 +13,44 @@ use the same registry and construction path as the CLI.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.assay.catalog import build_assay
 from repro.placement.annealer import AnnealingParams
 
 _SECTIONS: list[tuple[str, str]] = []
+
+#: Machine-readable benchmark results land here (CI uploads the file as
+#: an artifact); override with REPRO_BENCH_JSON.
+BENCH_JSON_DEFAULT = "BENCH_placement.json"
+
+
+def write_bench_json(section: str, payload: dict) -> Path:
+    """Merge *payload* under *section* into the benchmark JSON file.
+
+    Read-modify-write so several benchmark modules (throughput, area
+    parity, portfolio) can contribute sections to one artifact.
+    """
+    path = Path(os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_DEFAULT))
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    """Fixture handle on :func:`write_bench_json`."""
+    return write_bench_json
 
 
 @pytest.fixture

@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's day-to-day uses without writing code:
+Eight commands cover the library's day-to-day uses without writing code:
 
 * ``flow`` — synthesize a built-in protocol end to end and print the
   schedule, placement, and FTI analysis.
+* ``place`` — run just bind -> schedule -> place and report the
+  annealer's throughput (proposals/sec); ``--profile`` prints the
+  top-20 cumulative profile entries so perf work starts from data.
 * ``route`` — synthesize with the concurrent droplet-routing stage and
   print the verified per-net routing plan.
 * ``portfolio`` — best-of-N seeded pipeline instances (in parallel with
@@ -54,11 +57,72 @@ def _placer(args: argparse.Namespace):
     from repro.placement.sa_placer import SimulatedAnnealingPlacer
     from repro.placement.two_stage import TwoStagePlacer
 
+    extra = {}
+    if getattr(args, "incremental", None) is not None:
+        extra["incremental"] = args.incremental
+    if getattr(args, "cross_check", False):
+        extra["cross_check"] = True
     if getattr(args, "beta", None) is not None:
         return TwoStagePlacer(
-            beta=args.beta, stage1_params=_params(args.fast), seed=args.seed
+            beta=args.beta, stage1_params=_params(args.fast), seed=args.seed, **extra
         )
-    return SimulatedAnnealingPlacer(params=_params(args.fast), seed=args.seed)
+    return SimulatedAnnealingPlacer(
+        params=_params(args.fast), seed=args.seed, **extra
+    )
+
+
+def _profiled(enabled: bool, fn):
+    """Run *fn* (optionally under cProfile, printing the top-20 entries).
+
+    Profile output goes to stderr so ``--profile --json`` still emits a
+    parseable JSON document on stdout.
+    """
+    if not enabled:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+    return result
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    from repro.pipeline.context import SynthesisContext
+    from repro.pipeline.stages import BindStage, ScheduleStage
+    from repro.viz.ascii_art import render_placement
+
+    if args.cross_check and not args.incremental:
+        raise SystemExit(
+            "place: --cross-check verifies the incremental path and "
+            "cannot be combined with --no-incremental"
+        )
+    graph, binding = PROTOCOLS[args.protocol]()
+    context = SynthesisContext(graph=graph, explicit_binding=binding)
+    BindStage().run(context)
+    ScheduleStage(max_concurrent_ops=args.max_concurrent).run(context)
+    placer = _placer(args)
+
+    placed = _profiled(
+        args.profile, lambda: placer.place(context.schedule, context.binding)
+    )
+    # TwoStagePlacer returns a TwoStageResult; report its final stage.
+    result = placed.stage2 if hasattr(placed, "stage2") else placed
+    print(render_placement(result.placement))
+    print()
+    w, h = result.array_dims
+    stats = result.stats
+    mode = "full-recompute"
+    if getattr(placer, "incremental", False):
+        mode = "incremental" + (" + cross-check" if placer.cross_check else "")
+    print(f"placement: {w}x{h} = {result.area_cells} cells "
+          f"({result.area_mm2:.2f} mm^2), {stats.stop_reason}")
+    print(f"annealer [{mode}]: {stats.evaluations} proposals in "
+          f"{result.runtime_s:.2f} s = {result.proposals_per_s:,.0f} proposals/s, "
+          f"acceptance {stats.acceptance_ratio:.1%}")
+    return 0
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -113,9 +177,20 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
         max_concurrent_ops=args.max_concurrent,
         route=args.route,
     )
+    if args.profile and args.jobs > 1:
+        print(
+            "portfolio: --profile instruments only the parent process; "
+            "with --jobs > 1 the annealing work happens in pool workers "
+            "and will not appear in the profile (use --jobs 1)",
+            file=sys.stderr,
+        )
     try:
-        result = run_portfolio(
-            spec, n=args.n, seed=args.seed, objective=args.objective, jobs=args.jobs
+        result = _profiled(
+            args.profile,
+            lambda: run_portfolio(
+                spec, n=args.n, seed=args.seed, objective=args.objective,
+                jobs=args.jobs,
+            ),
         )
     except (PipelineError, ValueError) as exc:
         raise SystemExit(f"portfolio: {exc}") from None
@@ -233,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
     flow = sub.add_parser("flow", help="synthesize a protocol end to end")
     flow.set_defaults(func=cmd_flow)
 
+    place = sub.add_parser(
+        "place",
+        help="bind + schedule + place only, reporting annealer throughput",
+    )
+    place.add_argument(
+        "--incremental", action=argparse.BooleanOptionalAction, default=True,
+        help="drive the O(time-neighbors) delta-cost annealing path "
+             "(--no-incremental selects the full-recompute reference)",
+    )
+    place.add_argument(
+        "--cross-check", action="store_true",
+        help="verify every incremental delta against the full recompute",
+    )
+    place.set_defaults(func=cmd_place)
+
     route = sub.add_parser(
         "route", help="synthesize with the concurrent droplet-routing stage"
     )
@@ -279,11 +369,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-concurrent", type=int, default=3)
     batch.set_defaults(func=cmd_batch)
 
-    for p in (flow, route, portfolio):
+    for p in (flow, place, route, portfolio):
         p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
         p.add_argument("--beta", type=float, default=None,
                        help="enable the fault-aware two-stage placer at this beta")
         p.add_argument("--max-concurrent", type=int, default=3)
+
+    for p in (place, portfolio):
+        p.add_argument(
+            "--profile", action="store_true",
+            help="run under cProfile and print the top-20 cumulative entries "
+                 "to stderr (portfolio: profiles the parent process only — "
+                 "use --jobs 1 for meaningful numbers)",
+        )
 
     for p in (portfolio, batch):
         p.add_argument(
@@ -310,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
     explore.set_defaults(func=cmd_explore)
 
-    for p in (flow, route, portfolio, batch, sweep, exps, explore):
+    for p in (flow, place, route, portfolio, batch, sweep, exps, explore):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument(
             "--fast",

@@ -5,6 +5,8 @@
   paper Figure 3 (cooling schedule, acceptance rule, stopping via the
   controlling window).
 * :mod:`repro.placement.moves` — the four generation functions.
+* :mod:`repro.placement.incremental` — the O(time-neighbors)
+  delta-cost evaluator behind the annealers' incremental path.
 * :mod:`repro.placement.window` — the temperature-controlled
   displacement window.
 * :mod:`repro.placement.cost` — area and fault-aware cost metrics.
@@ -18,6 +20,14 @@
 from repro.placement.annealer import AnnealingParams, AnnealingStats, SimulatedAnnealing
 from repro.placement.cost import AreaCost, FaultAwareCost
 from repro.placement.greedy import GreedyPlacer
+from repro.placement.incremental import (
+    CrossCheckError,
+    IncrementalCostEvaluator,
+    Move,
+    MoveDelta,
+    ModuleUpdate,
+    apply_move,
+)
 from repro.placement.initial import constructive_initial_placement
 from repro.placement.model import PlacedModule, Placement
 from repro.placement.moves import MoveGenerator
@@ -32,8 +42,13 @@ __all__ = [
     "AnnealingStats",
     "AreaCost",
     "ControllingWindow",
+    "CrossCheckError",
     "FaultAwareCost",
     "GreedyPlacer",
+    "IncrementalCostEvaluator",
+    "Move",
+    "MoveDelta",
+    "ModuleUpdate",
     "MoveGenerator",
     "PlacedModule",
     "Placement",
@@ -42,5 +57,6 @@ __all__ = [
     "SimulatedAnnealingPlacer",
     "TwoStagePlacer",
     "TwoStageResult",
+    "apply_move",
     "constructive_initial_placement",
 ]

@@ -123,6 +123,9 @@ class AnnealingStats:
     final_temp: float = math.nan
     stop_reason: str = ""
     #: One entry per temperature round: (temperature, current, best).
+    #: Only recorded when the engine runs with ``record_history=True``
+    #: (portfolio runs disable it — N instances of per-round tuples are
+    #: dead weight crossing process boundaries).
     history: list[tuple[float, float, float]] = field(default_factory=list)
 
     @property
@@ -150,6 +153,7 @@ class SimulatedAnnealing:
         cost_fn: Callable[[State], float],
         propose_fn: Callable[[State, float], State],
         inner_iterations: int,
+        record_history: bool = True,
     ) -> tuple[State, AnnealingStats]:
         """Run the annealing loop of paper Figure 3.
 
@@ -166,6 +170,12 @@ class SimulatedAnnealing:
         best, best_cost = current, current_cost
         stats.initial_cost = current_cost
 
+        # The inner loop runs millions of times per paper-schedule run;
+        # attribute lookups hoisted to locals are a measurable win.
+        rand = self._rng.random
+        exp = math.exp
+        acceptances = improvements = 0
+
         temperature = p.initial_temp
         frozen_streak = 0
         while True:
@@ -173,31 +183,170 @@ class SimulatedAnnealing:
             for _ in range(inner_iterations):
                 candidate = propose_fn(current, temperature)
                 candidate_cost = cost_fn(candidate)
-                stats.evaluations += 1
                 delta = candidate_cost - current_cost
-                if delta < 0 or self._rng.random() < math.exp(-delta / temperature):
+                if delta < 0 or rand() < exp(-delta / temperature):
                     current, current_cost = candidate, candidate_cost
-                    stats.acceptances += 1
+                    acceptances += 1
                     if current_cost < best_cost:
                         best, best_cost = current, current_cost
-                        stats.improvements += 1
-            stats.history.append((temperature, current_cost, best_cost))
+                        improvements += 1
+            stats.evaluations += inner_iterations
+            if record_history:
+                stats.history.append((temperature, current_cost, best_cost))
 
-            if self.window is not None and self.window.is_frozen(temperature):
-                frozen_streak += 1
-            else:
-                frozen_streak = 0
-            if self.window is not None and frozen_streak >= p.freeze_rounds:
-                stats.stop_reason = "window-frozen"
-                break
-            if p.max_rounds is not None and stats.rounds >= p.max_rounds:
-                stats.stop_reason = "max-rounds"
-                break
-            temperature *= p.cooling
-            if temperature < p.min_temp:
-                stats.stop_reason = "min-temp"
+            temperature, frozen_streak, keep_going = self._advance(
+                stats, temperature, frozen_streak
+            )
+            if not keep_going:
                 break
 
+        stats.acceptances = acceptances
+        stats.improvements = improvements
         stats.best_cost = best_cost
         stats.final_temp = temperature
         return best, stats
+
+    def optimize_incremental(
+        self,
+        evaluator,
+        cost,
+        propose_move_fn,
+        inner_iterations: int,
+        record_history: bool = True,
+        cross_check: bool = False,
+        cross_check_tolerance: float = 1e-6,
+    ):
+        """Delta-cost annealing over an incremental evaluator.
+
+        The fast twin of :meth:`optimize` for placement states: the
+        *evaluator* (an :class:`~repro.placement.incremental.
+        IncrementalCostEvaluator`) owns the mutating placement,
+        ``propose_move_fn(placement, T)`` emits lightweight moves, and
+        *cost* prices them through its ``delta``/``current`` protocol —
+        so one proposal costs O(time-neighbors) instead of the O(n^2)
+        full recompute. RNG consumption matches :meth:`optimize` driven
+        by ``MoveGenerator.propose`` draw for draw, so both paths walk
+        the same trajectory from the same seed.
+
+        With ``cross_check=True`` every accepted *and* rejected move is
+        verified against the full-recompute reference (``cost(placement)``)
+        within *cross_check_tolerance*, and rejected moves exercise the
+        apply/revert round-trip; a mismatch raises
+        :class:`~repro.placement.incremental.CrossCheckError`. The
+        running cost is resynced from the evaluator every temperature
+        round, so float drift never survives a round boundary.
+
+        Returns ``(best_placement_copy, stats)``.
+        """
+        if inner_iterations < 1:
+            raise ValueError(f"inner_iterations must be >= 1, got {inner_iterations}")
+        p = self.params
+        stats = AnnealingStats()
+        placement = evaluator.placement
+        current_cost = cost.current(evaluator)
+        best, best_cost = placement.copy(), current_cost
+        stats.initial_cost = current_cost
+
+        rand = self._rng.random
+        exp = math.exp
+        delta_fn = cost.delta
+        apply_fn = evaluator.apply
+        acceptances = improvements = 0
+
+        temperature = p.initial_temp
+        frozen_streak = 0
+        while True:
+            stats.rounds += 1
+            for _ in range(inner_iterations):
+                move = propose_move_fn(placement, temperature)
+                delta = delta_fn(evaluator, move)
+                if cross_check:
+                    self._cross_check_move(
+                        evaluator, cost, move, delta, cross_check_tolerance
+                    )
+                if delta < 0 or rand() < exp(-delta / temperature):
+                    apply_fn(move)
+                    current_cost += delta
+                    acceptances += 1
+                    if current_cost < best_cost:
+                        # Confirm with exact arithmetic before snapshotting:
+                        # the accumulated cost carries ~1e-13 float drift,
+                        # enough to turn an equal-cost state into a spurious
+                        # "improvement" (true improvements come in quanta of
+                        # at least the pull weight, far above drift). Rare
+                        # enough that the O(n^2) resync is free.
+                        evaluator.resync()
+                        current_cost = cost.current(evaluator)
+                        if current_cost < best_cost:
+                            best, best_cost = placement.copy(), current_cost
+                            improvements += 1
+            stats.evaluations += inner_iterations
+            # Round-boundary resync: rebuild the running sums and the
+            # carried cost so float drift cannot accumulate.
+            evaluator.resync()
+            current_cost = cost.current(evaluator)
+            if record_history:
+                stats.history.append((temperature, current_cost, best_cost))
+
+            temperature, frozen_streak, keep_going = self._advance(
+                stats, temperature, frozen_streak
+            )
+            if not keep_going:
+                break
+
+        stats.acceptances = acceptances
+        stats.improvements = improvements
+        stats.best_cost = best_cost
+        stats.final_temp = temperature
+        return best, stats
+
+    def _advance(
+        self, stats: AnnealingStats, temperature: float, frozen_streak: int
+    ) -> tuple[float, int, bool]:
+        """Shared cooling/stop logic: ``(temperature, streak, keep_going)``.
+
+        A ``min-temp`` stop returns the *cooled* temperature (it is what
+        tripped the floor); the other stop reasons return it uncooled —
+        matching what ``stats.final_temp`` has always reported.
+        """
+        p = self.params
+        if self.window is not None and self.window.is_frozen(temperature):
+            frozen_streak += 1
+        else:
+            frozen_streak = 0
+        if self.window is not None and frozen_streak >= p.freeze_rounds:
+            stats.stop_reason = "window-frozen"
+            return temperature, frozen_streak, False
+        if p.max_rounds is not None and stats.rounds >= p.max_rounds:
+            stats.stop_reason = "max-rounds"
+            return temperature, frozen_streak, False
+        temperature *= p.cooling
+        if temperature < p.min_temp:
+            stats.stop_reason = "min-temp"
+            return temperature, frozen_streak, False
+        return temperature, frozen_streak, True
+
+    @staticmethod
+    def _cross_check_move(evaluator, cost, move, delta, tolerance) -> None:
+        """Verify one delta against the full recompute, via apply/revert."""
+        from repro.placement.incremental import CrossCheckError
+
+        full_before = cost(evaluator.placement)
+        inverse = evaluator.apply(move)
+        full_after = cost(evaluator.placement)
+        evaluator.check_consistency(tolerance)
+        error = abs((full_after - full_before) - delta)
+        if error > tolerance:
+            evaluator.apply(inverse)
+            raise CrossCheckError(
+                f"incremental delta {delta!r} disagrees with full recompute "
+                f"{full_after - full_before!r} (|error| {error:g} > {tolerance:g}) "
+                f"for move {move}"
+            )
+        evaluator.apply(inverse)
+        restored = cost(evaluator.placement)
+        if abs(restored - full_before) > tolerance:
+            raise CrossCheckError(
+                f"apply/revert did not restore the prior cost: "
+                f"{full_before!r} -> {restored!r} for move {move}"
+            )

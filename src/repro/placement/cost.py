@@ -11,12 +11,32 @@ for the ft term (scaled by a calibration constant GAMMA) so that
 growing the array with idle-but-covered cells is not a free lunch; see
 DESIGN.md for the calibration argument that puts the paper's knob range
 beta in [10, 60] across the area/FTI knee.
+
+Every cost here speaks two protocols:
+
+* the classic full recompute, ``cost(placement) -> float``, used by the
+  generic annealing path and as the cross-check reference;
+* the incremental protocol, ``cost.current(evaluator)`` and
+  ``cost.delta(evaluator, move)``, which combine the component deltas
+  of an :class:`~repro.placement.incremental.IncrementalCostEvaluator`
+  into this cost's objective so a proposal is priced in
+  O(time-neighbors) instead of O(n^2).
+
+A subclass that overrides ``__call__`` without supplying a matching
+``delta`` is detected by :meth:`AreaCost.supports_incremental` and the
+placers fall back to the full-recompute path rather than silently
+optimizing the wrong objective.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.fault.fti import FTIReport, compute_fti
 from repro.placement.model import Placement
+
+if TYPE_CHECKING:
+    from repro.placement.incremental import IncrementalCostEvaluator, Move
 
 #: Calibration constant mapping normalized FTI into mm^2-comparable
 #: units so that beta in [10, 60] spans the area/fault-tolerance knee.
@@ -29,6 +49,9 @@ DEFAULT_OVERLAP_WEIGHT = 25.0
 #: Weight of the corner-pull tiebreaker (see AreaCost). Small enough
 #: that it never trades against a whole array cell (2.25 mm^2).
 DEFAULT_PULL_WEIGHT = 0.05
+
+#: Entries kept in the per-run FTI memo before it is cleared wholesale.
+_FTI_MEMO_CAP = 8192
 
 
 class AreaCost:
@@ -77,13 +100,49 @@ class AreaCost:
         """The pure area component (reported by experiment harnesses)."""
         return self.alpha * placement.area_mm2
 
+    # -- incremental protocol -----------------------------------------------------
+
+    def supports_incremental(self) -> bool:
+        """True when this cost's full objective has a matching delta.
+
+        The class (in the MRO) that defines the effective ``__call__``
+        must also define ``delta``; a subclass customizing the objective
+        without supplying the delta falls back to full recompute.
+        """
+        for klass in type(self).__mro__:
+            if "__call__" in vars(klass):
+                return "delta" in vars(klass)
+        return False
+
+    def current(self, evaluator: IncrementalCostEvaluator) -> float:
+        """This cost over the evaluator's running components."""
+        cost = (
+            self.alpha * evaluator.area_mm2
+            + self.overlap_weight * evaluator.overlap_total
+        )
+        if self.pull_weight:
+            cost += self.pull_weight * evaluator.pull_sum
+        return cost
+
+    def delta(self, evaluator: IncrementalCostEvaluator, move: Move) -> float:
+        """Change in this cost if *move* were applied."""
+        c = evaluator.delta_components(move)
+        d = self.alpha * c.d_area_mm2 + self.overlap_weight * c.d_overlap
+        if self.pull_weight:
+            d += self.pull_weight * c.d_pull
+        return d
+
 
 class FaultAwareCost(AreaCost):
     """Stage-2 metric: ``alpha * area - beta * GAMMA * FTI`` (+ penalty).
 
     The FTI bonus is only granted to *feasible* placements — an
     overlapping configuration has no physical meaning, so rewarding its
-    "coverage" would mislead the annealer.
+    "coverage" would mislead the annealer. On the incremental path the
+    feasibility gate is the evaluator's exact integer conflict counter,
+    and FTI values are memoized in the evaluator by translation-
+    normalized placement signature, so unchanged-footprint rounds (and
+    revisits of recent configurations) never recompute the term.
     """
 
     def __init__(
@@ -121,3 +180,49 @@ class FaultAwareCost(AreaCost):
             return base
         report = self.fti_report(placement)
         return base - self.beta * self.ft_gamma * report.fti
+
+    # -- incremental protocol -----------------------------------------------------
+
+    def _memoized_fti(
+        self, evaluator: IncrementalCostEvaluator, signature: tuple, build_placement
+    ) -> float:
+        key = (self.fti_method, self.allow_rotation, signature)
+        memo = evaluator.memo
+        fti = memo.get(key)
+        if fti is None:
+            if len(memo) >= _FTI_MEMO_CAP:
+                memo.clear()
+            fti = self.fti_report(build_placement()).fti
+            memo[key] = fti
+        return fti
+
+    def current(self, evaluator: IncrementalCostEvaluator) -> float:
+        base = super().current(evaluator)
+        if not evaluator.is_feasible:
+            return base
+        fti = self._memoized_fti(
+            evaluator, evaluator.signature(), lambda: evaluator.placement
+        )
+        return base - self.beta * self.ft_gamma * fti
+
+    def delta(self, evaluator: IncrementalCostEvaluator, move: Move) -> float:
+        # delta_components is cached on the evaluator, so the second
+        # call inside super().delta() is free.
+        d = super().delta(evaluator, move)
+        c = evaluator.delta_components(move)
+        scale = self.beta * self.ft_gamma
+        if scale:
+            old_term = 0.0
+            if evaluator.is_feasible:
+                old_term = scale * self._memoized_fti(
+                    evaluator, evaluator.signature(), lambda: evaluator.placement
+                )
+            new_term = 0.0
+            if evaluator.conflict_pairs + c.d_conflict_pairs == 0:
+                new_term = scale * self._memoized_fti(
+                    evaluator,
+                    evaluator.candidate_signature(move),
+                    lambda: evaluator.candidate_placement(move),
+                )
+            d += old_term - new_term
+        return d

@@ -1,0 +1,592 @@
+"""Incremental delta-cost evaluation for the placement annealers.
+
+The paper's annealer (Figure 3) runs ``Na x Nm`` Metropolis proposals
+per temperature round, and a naive transcription pays full price for
+each one: an O(n^2) pairwise overlap recomputation, a bounding-box
+rebuild, and a whole-placement copy per proposal. This module exploits
+the key structural fact of the modified-2D formulation — module time
+spans are **fixed by the schedule** — to make a single-module move,
+rotate, or pair interchange cost O(time-neighbors) to delta-evaluate
+and O(1) amortized to apply:
+
+* **Static time-neighbor lists.** Whether two modules can ever conflict
+  is decided by their (schedule-fixed) time spans. The evaluator
+  precomputes, once, the list of time-overlapping partners of every
+  module together with the pair's shared duration ``dt``; a move only
+  re-examines those partners.
+* **Edge multisets.** The bounding box is maintained as four sorted
+  multisets over the modules' x1/x2/y1/y2 footprint edges; a candidate
+  box after a move is found by peeking past at most the moved modules'
+  own edges, without touching the other n-1 modules.
+* **Running sums.** The total overlap volume, an *integer* count of
+  conflicting pairs (the exact feasibility gate — immune to float
+  drift), and the integer corner-pull sum are maintained under apply;
+  :meth:`IncrementalCostEvaluator.resync` rebuilds them from scratch on
+  a fixed cadence so float error cannot accumulate across millions of
+  applies.
+
+Proposals travel as lightweight :class:`Move` objects (op id + new
+origin/orientation per touched module) instead of copied placements;
+the cost classes in :mod:`repro.placement.cost` combine the evaluator's
+component deltas into their own objective deltas.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+
+from repro.placement.model import PlacedModule, Placement
+from repro.util.errors import PlacementError
+
+
+class CrossCheckError(PlacementError):
+    """An incremental delta disagreed with the full-recompute reference."""
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleUpdate:
+    """One module's new origin and orientation inside a :class:`Move`."""
+
+    op_id: str
+    x: int
+    y: int
+    rotated: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """A proposed state change: one update (displace/rotate) or two (swap)."""
+
+    updates: tuple[ModuleUpdate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.updates:
+            raise ValueError("a Move needs at least one module update")
+
+
+@dataclass(frozen=True, slots=True)
+class MoveDelta:
+    """Component-wise effect of a :class:`Move` on the evaluator's state.
+
+    The cost classes weigh these into an objective delta; keeping the
+    components raw lets several costs share one evaluation.
+    """
+
+    d_area_mm2: float
+    d_overlap: float
+    #: Integer corner-pull change, sum of (x2 + y2) deltas.
+    d_pull: int
+    #: Integer change in the number of space-and-time conflicting pairs.
+    d_conflict_pairs: int
+
+
+class _Rec:
+    """Mutable per-module footprint record (coordinates + orientation)."""
+
+    __slots__ = ("x1", "y1", "x2", "y2", "rotated")
+
+    def __init__(self, x1: int, y1: int, x2: int, y2: int, rotated: bool) -> None:
+        self.x1 = x1
+        self.y1 = y1
+        self.x2 = x2
+        self.y2 = y2
+        self.rotated = rotated
+
+
+def _remove_sorted(lst: list[int], value: int) -> None:
+    """Remove one occurrence of *value* from the sorted list *lst*."""
+    i = bisect_left(lst, value)
+    if i >= len(lst) or lst[i] != value:
+        raise PlacementError(f"edge multiset desync: {value} not present")
+    lst.pop(i)
+
+
+def _min_after(lst: list[int], removed: list[int], added: list[int]) -> int:
+    """Minimum of the multiset *lst* with *removed* taken out and *added*
+    put in, without mutating anything.
+
+    ``removed`` holds at most two values (one per moved module), so the
+    front scan terminates after a handful of elements.
+    """
+    best = min(added)
+    rem = list(removed)
+    for v in lst:
+        if v >= best:
+            break
+        try:
+            rem.remove(v)
+        except ValueError:
+            return min(v, best)
+    return best
+
+
+def _max_after(lst: list[int], removed: list[int], added: list[int]) -> int:
+    """Mirror of :func:`_min_after` for the maximum edge."""
+    best = max(added)
+    rem = list(removed)
+    for v in reversed(lst):
+        if v <= best:
+            break
+        try:
+            rem.remove(v)
+        except ValueError:
+            return max(v, best)
+    return best
+
+
+class _Pending:
+    """Cache of one delta evaluation so apply() never recomputes it."""
+
+    __slots__ = ("move", "components", "new_coords")
+
+    def __init__(self, move, components, new_coords) -> None:
+        self.move = move
+        self.components = components
+        self.new_coords = new_coords
+
+
+class IncrementalCostEvaluator:
+    """Maintains O(1)-queryable cost components of a mutating placement.
+
+    The evaluator *owns* the placement it is given: :meth:`apply`
+    mutates it in place (module records, edge multisets, and running
+    sums all stay in lock-step), while :meth:`delta_components` is pure
+    — it prices a :class:`Move` without touching any state, caching the
+    evaluation so an immediately following :meth:`apply` of the same
+    move is free.
+
+    Invariants (see DESIGN.md for the full argument):
+
+    * time-neighbor lists and per-pair shared durations are computed
+      once in ``__init__`` and never change — the schedule fixes them;
+    * ``conflict_pairs`` is an exact integer, so the feasibility gate
+      (``overlap > 0``) used by the fault-aware cost can never be
+      corrupted by float drift;
+    * every ``resync_every`` applies, the float ``overlap_total`` is
+      rebuilt from scratch, bounding accumulated error to the round-off
+      of at most ``resync_every`` additions.
+    """
+
+    def __init__(self, placement: Placement, resync_every: int = 2048) -> None:
+        if len(placement) == 0:
+            raise PlacementError("cannot evaluate an empty placement")
+        if resync_every < 1:
+            raise ValueError(f"resync_every must be >= 1, got {resync_every}")
+        self.placement = placement
+        self.resync_every = resync_every
+        #: Scratch space for cost-side memoization (e.g. FTI by signature).
+        self.memo: dict = {}
+
+        pitch = placement.pitch_mm
+        self._pitch2 = pitch * pitch
+
+        self._recs: dict[str, _Rec] = {}
+        self._specs: dict[str, object] = {}
+        self._spans: dict[str, tuple[float, float]] = {}
+        #: Per-op ``(normal_dims, rotated_dims)`` — dims() is a hot call.
+        self._dims: dict[str, tuple[tuple[int, int], tuple[int, int]]] = {}
+        for pm in placement:
+            fp = pm.footprint
+            self._recs[pm.op_id] = _Rec(fp.x, fp.y, fp.x2, fp.y2, pm.rotated)
+            self._specs[pm.op_id] = pm.spec
+            self._spans[pm.op_id] = (pm.start, pm.stop)
+            self._dims[pm.op_id] = (pm.spec.dims(False), pm.spec.dims(True))
+
+        # Static time-overlap structure: fixed by the schedule forever.
+        ids = list(self._recs)
+        self._nbrs: dict[str, list[tuple[str, float]]] = {op: [] for op in ids}
+        self._pair_dt: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(ids):
+            a_start, a_stop = self._spans[a]
+            for b in ids[i + 1:]:
+                b_start, b_stop = self._spans[b]
+                dt = min(a_stop, b_stop) - max(a_start, b_start)
+                if dt > 0:
+                    self._nbrs[a].append((b, dt))
+                    self._nbrs[b].append((a, dt))
+                    self._pair_dt[(a, b)] = dt
+                    self._pair_dt[(b, a)] = dt
+
+        # Edge multisets (sorted, with duplicates) for the bounding box.
+        self._x1s = sorted(r.x1 for r in self._recs.values())
+        self._x2s = sorted(r.x2 for r in self._recs.values())
+        self._y1s = sorted(r.y1 for r in self._recs.values())
+        self._y2s = sorted(r.y2 for r in self._recs.values())
+
+        self._pending: _Pending | None = None
+        self._sig: tuple | None = None
+        self._applies_since_resync = 0
+        self.overlap_total = 0.0
+        self.conflict_pairs = 0
+        self.pull_sum = 0
+        self._rebuild_sums()
+
+    # -- component queries --------------------------------------------------------
+
+    @property
+    def area_cells(self) -> int:
+        """Bounding-array area in cells (exact, from the edge multisets)."""
+        return (self._x2s[-1] - self._x1s[0] + 1) * (
+            self._y2s[-1] - self._y1s[0] + 1
+        )
+
+    @property
+    def area_mm2(self) -> float:
+        """Bounding-array area in mm^2 at the placement's pitch."""
+        return self.area_cells * self._pitch2
+
+    @property
+    def is_feasible(self) -> bool:
+        """Exact feasibility — gated by the integer conflict counter."""
+        return self.conflict_pairs == 0
+
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """Current ``(x1, y1, x2, y2)`` of the bounding array."""
+        return self._x1s[0], self._y1s[0], self._x2s[-1], self._y2s[-1]
+
+    def signature(self) -> tuple:
+        """Translation-normalized identity of the current configuration.
+
+        Two placements that differ only by a rigid translation have the
+        same signature (and the same FTI), which is what makes this a
+        good memoization key for the fault-aware cost. Cached between
+        applies — the LTSA loop asks for it on every feasible proposal.
+        """
+        if self._sig is None:
+            dx, dy = self._x1s[0], self._y1s[0]
+            self._sig = tuple(sorted(
+                (op, r.x1 - dx, r.y1 - dy, r.rotated)
+                for op, r in self._recs.items()
+            ))
+        return self._sig
+
+    def candidate_signature(self, move: Move) -> tuple:
+        """The signature the placement would have after *move*."""
+        pend = self._evaluated(move)
+        moved = pend.new_coords
+        x1s = [c[0] for c in moved.values()]
+        y1s = [c[1] for c in moved.values()]
+        removed_x = [self._recs[op].x1 for op in moved]
+        removed_y = [self._recs[op].y1 for op in moved]
+        dx = _min_after(self._x1s, removed_x, x1s)
+        dy = _min_after(self._y1s, removed_y, y1s)
+        rows = []
+        for op, r in self._recs.items():
+            c = moved.get(op)
+            if c is None:
+                rows.append((op, r.x1 - dx, r.y1 - dy, r.rotated))
+            else:
+                rows.append((op, c[0] - dx, c[1] - dy, c[4]))
+        return tuple(sorted(rows))
+
+    def candidate_placement(self, move: Move) -> Placement:
+        """A fresh :class:`Placement` with *move* applied (for FTI runs)."""
+        out = self.placement.copy()
+        for u in move.updates:
+            out.replace(out.get(u.op_id).moved_to(u.x, u.y, rotated=u.rotated))
+        return out
+
+    # -- delta evaluation ---------------------------------------------------------
+
+    def delta_components(self, move: Move) -> MoveDelta:
+        """Price *move* in O(time-neighbors) without mutating anything."""
+        return self._evaluated(move).components
+
+    def _evaluated(self, move: Move) -> _Pending:
+        pending = self._pending
+        if pending is not None and pending.move is move:
+            return pending
+        updates = move.updates
+        if len(updates) == 1:
+            return self._eval_single(move, updates[0])
+        return self._eval_multi(move)
+
+    def _eval_single(self, move: Move, u: ModuleUpdate) -> _Pending:
+        """Specialized hot path: one module displaced and/or rotated."""
+        op = u.op_id
+        recs = self._recs
+        old = recs.get(op)
+        if old is None:
+            raise PlacementError(f"no placed module for op {op!r}")
+        w, h = self._dims[op][1 if u.rotated else 0]
+        nx1 = u.x
+        ny1 = u.y
+        nx2 = nx1 + w - 1
+        ny2 = ny1 + h - 1
+        ox1, oy1, ox2, oy2 = old.x1, old.y1, old.x2, old.y2
+
+        d_overlap = 0.0
+        d_pairs = 0
+        for other, dt in self._nbrs[op]:
+            b = recs[other]
+            bx1, by1, bx2, by2 = b.x1, b.y1, b.x2, b.y2
+            ox = (ox2 if ox2 < bx2 else bx2) - (ox1 if ox1 > bx1 else bx1) + 1
+            if ox > 0:
+                oy = (oy2 if oy2 < by2 else by2) - (oy1 if oy1 > by1 else by1) + 1
+                if oy > 0:
+                    d_overlap -= ox * oy * dt
+                    d_pairs -= 1
+            ox = (nx2 if nx2 < bx2 else bx2) - (nx1 if nx1 > bx1 else bx1) + 1
+            if ox > 0:
+                oy = (ny2 if ny2 < by2 else by2) - (ny1 if ny1 > by1 else by1) + 1
+                if oy > 0:
+                    d_overlap += ox * oy * dt
+                    d_pairs += 1
+
+        # O(1) bounding-box peek: only this module's own edges can leave.
+        x1s, x2s, y1s, y2s = self._x1s, self._x2s, self._y1s, self._y2s
+        bx1 = x1s[0]
+        if ox1 == bx1:
+            bx1 = x1s[1] if len(x1s) > 1 else nx1
+        if nx1 < bx1:
+            bx1 = nx1
+        by1 = y1s[0]
+        if oy1 == by1:
+            by1 = y1s[1] if len(y1s) > 1 else ny1
+        if ny1 < by1:
+            by1 = ny1
+        bx2 = x2s[-1]
+        if ox2 == bx2:
+            bx2 = x2s[-2] if len(x2s) > 1 else nx2
+        if nx2 > bx2:
+            bx2 = nx2
+        by2 = y2s[-1]
+        if oy2 == by2:
+            by2 = y2s[-2] if len(y2s) > 1 else ny2
+        if ny2 > by2:
+            by2 = ny2
+        new_area_cells = (bx2 - bx1 + 1) * (by2 - by1 + 1)
+        d_area_mm2 = new_area_cells * self._pitch2 - self.area_cells * self._pitch2
+
+        components = MoveDelta(
+            d_area_mm2=d_area_mm2,
+            d_overlap=d_overlap,
+            d_pull=nx2 + ny2 - ox2 - oy2,
+            d_conflict_pairs=d_pairs,
+        )
+        self._pending = _Pending(
+            move, components, {op: (nx1, ny1, nx2, ny2, u.rotated)}
+        )
+        return self._pending
+
+    def _eval_multi(self, move: Move) -> _Pending:
+        recs = self._recs
+
+        # New footprint coordinates per moved module.
+        new_coords: dict[str, tuple[int, int, int, int, bool]] = {}
+        for u in move.updates:
+            if u.op_id in new_coords:
+                raise PlacementError(f"move updates op {u.op_id!r} twice")
+            dims = self._dims.get(u.op_id)
+            if dims is None:
+                raise PlacementError(f"no placed module for op {u.op_id!r}")
+            w, h = dims[1 if u.rotated else 0]
+            new_coords[u.op_id] = (u.x, u.y, u.x + w - 1, u.y + h - 1, u.rotated)
+
+        d_overlap = 0.0
+        d_pairs = 0
+        d_pull = 0
+        for op, (nx1, ny1, nx2, ny2, _rot) in new_coords.items():
+            old = recs[op]
+            d_pull += nx2 + ny2 - old.x2 - old.y2
+            for other, dt in self._nbrs[op]:
+                if other in new_coords:
+                    continue  # moved-moved pairs handled once, below
+                b = recs[other]
+                # old contribution
+                ox = (old.x2 if old.x2 < b.x2 else b.x2) - (
+                    old.x1 if old.x1 > b.x1 else b.x1
+                ) + 1
+                if ox > 0:
+                    oy = (old.y2 if old.y2 < b.y2 else b.y2) - (
+                        old.y1 if old.y1 > b.y1 else b.y1
+                    ) + 1
+                    if oy > 0:
+                        d_overlap -= ox * oy * dt
+                        d_pairs -= 1
+                # new contribution
+                ox = (nx2 if nx2 < b.x2 else b.x2) - (
+                    nx1 if nx1 > b.x1 else b.x1
+                ) + 1
+                if ox > 0:
+                    oy = (ny2 if ny2 < b.y2 else b.y2) - (
+                        ny1 if ny1 > b.y1 else b.y1
+                    ) + 1
+                    if oy > 0:
+                        d_overlap += ox * oy * dt
+                        d_pairs += 1
+
+        # Pairs where both endpoints moved (the swap case).
+        moved_ids = list(new_coords)
+        for i, a in enumerate(moved_ids):
+            for b in moved_ids[i + 1:]:
+                dt = self._pair_dt.get((a, b))
+                if dt is None:
+                    continue
+                ra, rb = recs[a], recs[b]
+                ox = min(ra.x2, rb.x2) - max(ra.x1, rb.x1) + 1
+                oy = min(ra.y2, rb.y2) - max(ra.y1, rb.y1) + 1
+                if ox > 0 and oy > 0:
+                    d_overlap -= ox * oy * dt
+                    d_pairs -= 1
+                na, nb = new_coords[a], new_coords[b]
+                ox = min(na[2], nb[2]) - max(na[0], nb[0]) + 1
+                oy = min(na[3], nb[3]) - max(na[1], nb[1]) + 1
+                if ox > 0 and oy > 0:
+                    d_overlap += ox * oy * dt
+                    d_pairs += 1
+
+        # Candidate bounding box via the edge multisets.
+        rem_x1 = [recs[op].x1 for op in new_coords]
+        rem_x2 = [recs[op].x2 for op in new_coords]
+        rem_y1 = [recs[op].y1 for op in new_coords]
+        rem_y2 = [recs[op].y2 for op in new_coords]
+        add = list(new_coords.values())
+        nx1 = _min_after(self._x1s, rem_x1, [c[0] for c in add])
+        ny1 = _min_after(self._y1s, rem_y1, [c[1] for c in add])
+        nx2 = _max_after(self._x2s, rem_x2, [c[2] for c in add])
+        ny2 = _max_after(self._y2s, rem_y2, [c[3] for c in add])
+        new_area_cells = (nx2 - nx1 + 1) * (ny2 - ny1 + 1)
+        d_area_mm2 = new_area_cells * self._pitch2 - self.area_cells * self._pitch2
+
+        components = MoveDelta(
+            d_area_mm2=d_area_mm2,
+            d_overlap=d_overlap,
+            d_pull=d_pull,
+            d_conflict_pairs=d_pairs,
+        )
+        self._pending = _Pending(move, components, new_coords)
+        return self._pending
+
+    # -- state transitions --------------------------------------------------------
+
+    def apply(self, move: Move) -> Move:
+        """Commit *move*; returns the inverse move (for exact revert)."""
+        pend = self._evaluated(move)
+        placement = self.placement
+        modules = placement._modules
+        core_w, core_h = placement.core_width, placement.core_height
+        inverse = Move(updates=tuple(
+            ModuleUpdate(op, self._recs[op].x1, self._recs[op].y1,
+                         self._recs[op].rotated)
+            for op in pend.new_coords
+        ))
+        for op, (x1, y1, x2, y2, _rot) in pend.new_coords.items():
+            if x1 < 1 or y1 < 1 or x2 > core_w or y2 > core_h:
+                self._pending = None
+                raise PlacementError(
+                    f"move puts op {op!r} at ({x1},{y1})..({x2},{y2}), outside "
+                    f"the {core_w}x{core_h} core area"
+                )
+        for op, (x1, y1, x2, y2, rotated) in pend.new_coords.items():
+            rec = self._recs[op]
+            _remove_sorted(self._x1s, rec.x1)
+            _remove_sorted(self._x2s, rec.x2)
+            _remove_sorted(self._y1s, rec.y1)
+            _remove_sorted(self._y2s, rec.y2)
+            insort(self._x1s, x1)
+            insort(self._x2s, x2)
+            insort(self._y1s, y1)
+            insort(self._y2s, y2)
+            rec.x1, rec.y1, rec.x2, rec.y2, rec.rotated = x1, y1, x2, y2, rotated
+            # Direct record swap: the in-core check above is replace()'s
+            # precondition, and building the footprint Rect eagerly (as
+            # replace would) is wasted work for a state the annealer may
+            # leave within a microsecond.
+            start, stop = self._spans[op]
+            modules[op] = PlacedModule(
+                op_id=op, spec=self._specs[op], x=x1, y=y1,
+                start=start, stop=stop, rotated=rotated,
+            )
+        c = pend.components
+        self.overlap_total += c.d_overlap
+        self.conflict_pairs += c.d_conflict_pairs
+        self.pull_sum += c.d_pull
+        self._pending = None
+        self._sig = None
+        self._applies_since_resync += 1
+        if self._applies_since_resync >= self.resync_every:
+            self.resync()
+        return inverse
+
+    def resync(self) -> float:
+        """Rebuild the running sums from scratch; returns the float drift
+        that had accumulated in ``overlap_total`` (diagnostics)."""
+        before = self.overlap_total
+        self._rebuild_sums()
+        self._applies_since_resync = 0
+        return abs(before - self.overlap_total)
+
+    def _rebuild_sums(self) -> None:
+        recs = self._recs
+        total = 0.0
+        pairs = 0
+        seen = set()
+        for a, nbrs in self._nbrs.items():
+            ra = recs[a]
+            for b, dt in nbrs:
+                if (b, a) in seen:
+                    continue
+                seen.add((a, b))
+                rb = recs[b]
+                ox = min(ra.x2, rb.x2) - max(ra.x1, rb.x1) + 1
+                if ox <= 0:
+                    continue
+                oy = min(ra.y2, rb.y2) - max(ra.y1, rb.y1) + 1
+                if oy <= 0:
+                    continue
+                total += ox * oy * dt
+                pairs += 1
+        self.overlap_total = total
+        self.conflict_pairs = pairs
+        self.pull_sum = sum(r.x2 + r.y2 for r in recs.values())
+
+    # -- cross-check support -------------------------------------------------------
+
+    def check_consistency(self, tolerance: float = 1e-6) -> None:
+        """Assert every running structure matches a from-scratch rebuild.
+
+        Used by the cross-check mode and the property tests; raises
+        :class:`CrossCheckError` on any disagreement.
+        """
+        reference = self.placement.overlap_volume()
+        if abs(self.overlap_total - reference) > tolerance:
+            raise CrossCheckError(
+                f"overlap drift {abs(self.overlap_total - reference):g} "
+                f"exceeds {tolerance:g} (running {self.overlap_total!r}, "
+                f"reference {reference!r})"
+            )
+        if (self.conflict_pairs > 0) != (reference > 0):
+            raise CrossCheckError(
+                f"conflict-pair counter ({self.conflict_pairs}) disagrees "
+                f"with reference overlap {reference!r}"
+            )
+        bb = self.placement.bounding_box()
+        if (bb.x, bb.y, bb.x2, bb.y2) != self.bounding_box():
+            raise CrossCheckError(
+                f"bounding box desync: multisets say {self.bounding_box()}, "
+                f"placement says {(bb.x, bb.y, bb.x2, bb.y2)}"
+            )
+        pull = sum(pm.footprint.x2 + pm.footprint.y2 for pm in self.placement)
+        if pull != self.pull_sum:
+            raise CrossCheckError(
+                f"pull-sum desync: running {self.pull_sum}, reference {pull}"
+            )
+        for op, rec in self._recs.items():
+            fp = self.placement.get(op).footprint
+            if (fp.x, fp.y, fp.x2, fp.y2) != (rec.x1, rec.y1, rec.x2, rec.y2):
+                raise CrossCheckError(f"record desync for op {op!r}")
+
+
+def apply_move(placement: Placement, move: Move) -> Placement:
+    """Return a copy of *placement* with *move* applied.
+
+    The slow-path twin of :meth:`IncrementalCostEvaluator.apply`, used
+    by the generic (full-recompute) annealing path and the tests.
+    """
+    out = placement.copy()
+    for u in move.updates:
+        pm: PlacedModule = out.get(u.op_id)
+        out.replace(pm.moved_to(u.x, u.y, rotated=u.rotated))
+    return out

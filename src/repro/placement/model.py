@@ -205,13 +205,29 @@ class Placement:
     # -- feasibility -------------------------------------------------------------------
 
     def conflicting_pairs(self) -> list[tuple[PlacedModule, PlacedModule]]:
-        """All module pairs that overlap in space and time."""
+        """All module pairs that overlap in space and time.
+
+        Same primitive-coordinate kernel as :meth:`overlap_volume` —
+        no per-pair Box/Rect combinator churn.
+        """
         mods = list(self._modules.values())
+        data = [
+            (pm.footprint.x, pm.footprint.y, pm.footprint.x2, pm.footprint.y2,
+             pm.start, pm.stop)
+            for pm in mods
+        ]
         out = []
-        for i, a in enumerate(mods):
-            for b in mods[i + 1 :]:
-                if a.conflicts(b):
-                    out.append((a, b))
+        n = len(data)
+        for i in range(n):
+            ax1, ay1, ax2, ay2, as_, ae = data[i]
+            for j in range(i + 1, n):
+                bx1, by1, bx2, by2, bs, be = data[j]
+                if (
+                    min(ae, be) - max(as_, bs) > 0
+                    and min(ax2, bx2) - max(ax1, bx1) >= 0
+                    and min(ay2, by2) - max(ay1, by1) >= 0
+                ):
+                    out.append((mods[i], mods[j]))
         return out
 
     def overlap_volume(self) -> float:
@@ -246,12 +262,29 @@ class Placement:
         return total
 
     def overlap_volume_against(self, pm: PlacedModule) -> float:
-        """Conflict volume of *pm* against all other stored modules."""
-        return sum(
-            pm.conflict_volume(other)
-            for other in self._modules.values()
-            if other.op_id != pm.op_id
-        )
+        """Conflict volume of *pm* against all other stored modules.
+
+        Primitive-coordinate kernel, like :meth:`overlap_volume`.
+        """
+        fp = pm.footprint
+        ax1, ay1, ax2, ay2 = fp.x, fp.y, fp.x2, fp.y2
+        as_, ae = pm.start, pm.stop
+        total = 0.0
+        for other in self._modules.values():
+            if other.op_id == pm.op_id:
+                continue
+            dt = min(ae, other.stop) - max(as_, other.start)
+            if dt <= 0:
+                continue
+            ofp = other.footprint
+            ox = min(ax2, ofp.x2) - max(ax1, ofp.x) + 1
+            if ox <= 0:
+                continue
+            oy = min(ay2, ofp.y2) - max(ay1, ofp.y) + 1
+            if oy <= 0:
+                continue
+            total += ox * oy * dt
+        return total
 
     def is_feasible(self) -> bool:
         """True if no two concurrently active modules share a cell."""

@@ -11,12 +11,20 @@ Single-module moves (i/ii) are drawn with probability ``p`` and pair
 moves (iii/iv) with ``1 - p``; the effective ratio is experimentally
 determined (paper), defaulting to 0.8 here. Displacements respect the
 controlling window and all moves keep footprints inside the core area.
+
+Proposals are emitted as lightweight :class:`~repro.placement.
+incremental.Move` objects (op id + new origin/orientation per touched
+module); :meth:`MoveGenerator.propose` wraps that in a copied placement
+for the generic full-recompute path, consuming the *identical* RNG
+sequence, so the incremental and reference annealing paths explore the
+same trajectory for the same seed.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.placement.incremental import Move, ModuleUpdate, apply_move
 from repro.placement.model import PlacedModule, Placement
 from repro.placement.window import ControllingWindow
 from repro.util.rng import ensure_rng
@@ -50,21 +58,22 @@ class MoveGenerator:
 
     # -- public API -----------------------------------------------------------------
 
-    def propose(self, placement: Placement, temperature: float) -> Placement:
-        """Return a new placement one move away from *placement*."""
+    def propose_move(self, placement: Placement, temperature: float) -> Move:
+        """Return a :class:`Move` one step away from *placement*."""
         if len(placement) == 0:
             raise ValueError("cannot propose moves on an empty placement")
-        new_p = placement.copy()
         use_single = (
             self.single_only
             or len(placement) < 2
             or self._rng.random() < self.p_single
         )
         if use_single:
-            self._displace(new_p, temperature)
-        else:
-            self._interchange(new_p)
-        return new_p
+            return self._displace(placement, temperature)
+        return self._interchange(placement)
+
+    def propose(self, placement: Placement, temperature: float) -> Placement:
+        """Return a new placement one move away from *placement*."""
+        return apply_move(placement, self.propose_move(placement, temperature))
 
     # -- move implementations -----------------------------------------------------------
 
@@ -83,7 +92,7 @@ class MoveGenerator:
         ny = _clamp(pm.y + self._rng.randint(-span, span), 1, max_y)
         return nx, ny
 
-    def _displace(self, placement: Placement, temperature: float) -> None:
+    def _displace(self, placement: Placement, temperature: float) -> Move:
         """Move types (i) and (ii)."""
         pm = self._rng.choice(placement.modules())
         rotated = pm.rotated
@@ -95,9 +104,9 @@ class MoveGenerator:
             rotated = not rotated  # type (ii)
         span = self.window.span(temperature)
         nx, ny = self._random_origin_near(placement, pm, rotated, span)
-        placement.replace(pm.moved_to(nx, ny, rotated=rotated))
+        return Move(updates=(ModuleUpdate(pm.op_id, nx, ny, rotated),))
 
-    def _interchange(self, placement: Placement) -> None:
+    def _interchange(self, placement: Placement) -> Move:
         """Move types (iii) and (iv): swap two modules' origins."""
         a, b = self._rng.sample(placement.modules(), 2)
         rot_a, rot_b = a.rotated, b.rotated
@@ -112,15 +121,15 @@ class MoveGenerator:
                     rot_b = not rot_b
         # Swap origins; clamp each so the (possibly rotated) footprint
         # stays inside the core area.
-        new_a = self._place_at(placement, a, b.x, b.y, rot_a)
-        new_b = self._place_at(placement, b, a.x, a.y, rot_b)
-        placement.replace(new_a)
-        placement.replace(new_b)
+        return Move(updates=(
+            self._update_at(placement, a, b.x, b.y, rot_a),
+            self._update_at(placement, b, a.x, a.y, rot_b),
+        ))
 
-    def _place_at(
+    def _update_at(
         self, placement: Placement, pm: PlacedModule, x: int, y: int, rotated: bool
-    ) -> PlacedModule:
+    ) -> ModuleUpdate:
         w, h = pm.spec.dims(rotated)
         nx = _clamp(x, 1, placement.core_width - w + 1)
         ny = _clamp(y, 1, placement.core_height - h + 1)
-        return pm.moved_to(nx, ny, rotated=rotated)
+        return ModuleUpdate(pm.op_id, nx, ny, rotated)

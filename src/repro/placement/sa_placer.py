@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from repro.placement.annealer import AnnealingParams, AnnealingStats, SimulatedAnnealing
 from repro.placement.cost import AreaCost
 from repro.placement.greedy import build_placed_modules
+from repro.placement.incremental import IncrementalCostEvaluator
 from repro.placement.initial import constructive_initial_placement
 from repro.placement.legalize import repair_overlaps
 from repro.placement.model import PlacedModule, Placement
@@ -39,6 +40,19 @@ class PlacementResult:
     runtime_s: float
     #: True if the post-anneal repair pass had to move modules.
     repaired: bool = False
+    #: Wall-clock seconds inside the annealing loop alone (runtime_s
+    #: additionally covers construction, repair, and normalization).
+    anneal_s: float = 0.0
+
+    @property
+    def proposals_per_s(self) -> float:
+        """Annealer throughput — the headline of the incremental engine.
+
+        Based on the anneal-loop time alone, so short schedules are not
+        diluted by the fixed construction/repair overhead around them.
+        """
+        span = self.anneal_s or self.runtime_s
+        return self.stats.evaluations / span if span else 0.0
 
     @property
     def area_cells(self) -> int:
@@ -64,6 +78,8 @@ class PlacementResult:
             "area_mm2": self.area_mm2,
             "repaired": self.repaired,
             "runtime_s": self.runtime_s,
+            "anneal_s": self.anneal_s,
+            "proposals_per_s": self.proposals_per_s,
             "stop_reason": self.stats.stop_reason,
             "modules": {
                 pm.op_id: {
@@ -81,6 +97,50 @@ class PlacementResult:
             f"PlacementResult({w}x{h} = {self.area_cells} cells, "
             f"{self.area_mm2:.2f} mm^2, {self.stats.stop_reason})"
         )
+
+
+def run_annealing(
+    engine: SimulatedAnnealing,
+    cost: AreaCost,
+    mover: MoveGenerator,
+    initial: Placement,
+    inner_iterations: int,
+    incremental: bool = True,
+    cross_check: bool = False,
+    record_history: bool = True,
+) -> tuple[Placement, AnnealingStats]:
+    """Dispatch one placement anneal to the right engine path.
+
+    The incremental delta-cost path when enabled and the cost supports
+    it, the generic full-recompute path otherwise. Shared by the
+    fault-oblivious placer and the two-stage LTSA refinement so the
+    dispatch policy lives in exactly one place.
+
+    ``cross_check`` is a request for per-move verification, which only
+    exists on the incremental path — honoring it silently with zero
+    verification would defeat its purpose, so asking for it on the
+    full-recompute path is an error.
+    """
+    if cross_check and not (incremental and cost.supports_incremental()):
+        raise ValueError(
+            "cross_check=True requires the incremental path: enable "
+            "incremental and use a cost that supports_incremental() "
+            "(the full-recompute path has nothing to cross-check against)"
+        )
+    if incremental and cost.supports_incremental():
+        evaluator = IncrementalCostEvaluator(initial)
+        return engine.optimize_incremental(
+            evaluator,
+            cost,
+            mover.propose_move,
+            inner_iterations,
+            record_history=record_history,
+            cross_check=cross_check,
+        )
+    return engine.optimize(
+        initial, cost, mover.propose, inner_iterations,
+        record_history=record_history,
+    )
 
 
 def default_core_side(modules: Iterable[PlacedModule], slack: float = 2.0) -> int:
@@ -118,6 +178,9 @@ class SimulatedAnnealingPlacer:
         p_rotate: float = 0.5,
         allow_rotation: bool = True,
         seed: int | random.Random | None = None,
+        incremental: bool = True,
+        cross_check: bool = False,
+        record_history: bool = True,
     ) -> None:
         self.params = params if params is not None else AnnealingParams.balanced()
         self.cost = cost if cost is not None else AreaCost()
@@ -126,7 +189,21 @@ class SimulatedAnnealingPlacer:
         self.p_single = p_single
         self.p_rotate = p_rotate
         self.allow_rotation = allow_rotation
+        #: Drive the O(time-neighbors) delta-cost path (default); the
+        #: generic full-recompute path remains as reference/fallback.
+        self.incremental = incremental
+        #: Verify every incremental delta against the full recompute.
+        self.cross_check = cross_check
+        self.record_history = record_history
         self._rng = ensure_rng(seed)
+
+    def uses_incremental(self) -> bool:
+        """True when this placer will drive the delta-cost path.
+
+        False when disabled, or when the cost customizes ``__call__``
+        without a matching ``delta`` (see ``AreaCost.supports_incremental``).
+        """
+        return self.incremental and self.cost.supports_incremental()
 
     # -- entry points ---------------------------------------------------------------
 
@@ -153,7 +230,14 @@ class SimulatedAnnealingPlacer:
         )
         engine = SimulatedAnnealing(self.params, window=window, seed=self._rng)
         inner = self.params.iterations_per_module * len(modules)
-        best, stats = engine.optimize(initial, self.cost, mover.propose, inner)
+        t_anneal = time.perf_counter()
+        best, stats = run_annealing(
+            engine, self.cost, mover, initial, inner,
+            incremental=self.incremental,
+            cross_check=self.cross_check,
+            record_history=self.record_history,
+        )
+        anneal_s = time.perf_counter() - t_anneal
 
         repaired = False
         if not best.is_feasible():
@@ -164,4 +248,5 @@ class SimulatedAnnealingPlacer:
             stats=stats,
             runtime_s=time.perf_counter() - t0,
             repaired=repaired,
+            anneal_s=anneal_s,
         )

@@ -28,6 +28,7 @@ from repro.placement.cost import (
 
 if TYPE_CHECKING:
     from repro.assay.graph import SequencingGraph
+    from repro.placement.incremental import IncrementalCostEvaluator, Move
     from repro.placement.model import Placement
 
 #: Default weight per cell of producer->consumer distance, in mm^2
@@ -87,3 +88,36 @@ class TransportAwareCost(AreaCost):
             super().__call__(placement)
             + self.transport_weight * self.transport_distance(placement)
         )
+
+    # -- incremental protocol -----------------------------------------------------
+
+    def current(self, evaluator: "IncrementalCostEvaluator") -> float:
+        return super().current(evaluator) + self.transport_weight * (
+            self.transport_distance(evaluator.placement)
+        )
+
+    def delta(self, evaluator: "IncrementalCostEvaluator", move: "Move") -> float:
+        d = super().delta(evaluator, move)
+        if not self.transport_weight:
+            return d
+        placement = evaluator.placement
+        moved = {u.op_id: u for u in move.updates}
+
+        def center(op_id):
+            pm = placement.get(op_id)
+            u = moved.get(op_id)
+            if u is None:
+                return pm.functional_region.center
+            return pm.spec.functional_at(u.x, u.y, u.rotated).center
+
+        d_dist = 0
+        for producer, consumer in self._edges:
+            if producer not in moved and consumer not in moved:
+                continue
+            if producer not in placement or consumer not in placement:
+                continue
+            a_old = placement.get(producer).functional_region.center
+            b_old = placement.get(consumer).functional_region.center
+            d_dist += center(producer).manhattan_distance(center(consumer))
+            d_dist -= a_old.manhattan_distance(b_old)
+        return d + self.transport_weight * d_dist

@@ -23,7 +23,11 @@ from repro.placement.greedy import build_placed_modules
 from repro.placement.legalize import repair_overlaps
 from repro.placement.model import Placement
 from repro.placement.moves import MoveGenerator
-from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
+from repro.placement.sa_placer import (
+    PlacementResult,
+    SimulatedAnnealingPlacer,
+    run_annealing,
+)
 from repro.util.rng import ensure_rng
 
 if TYPE_CHECKING:  # synthesis.flow imports the placers; avoid the cycle
@@ -108,6 +112,9 @@ class TwoStagePlacer:
         allow_rotation: bool = True,
         p_single: float = 0.8,
         seed: int | random.Random | None = None,
+        incremental: bool = True,
+        cross_check: bool = False,
+        record_history: bool = True,
     ) -> None:
         if expansion < 1.0:
             raise ValueError(f"expansion must be >= 1.0, got {expansion}")
@@ -122,6 +129,9 @@ class TwoStagePlacer:
         self.fti_method = fti_method
         self.allow_rotation = allow_rotation
         self.p_single = p_single
+        self.incremental = incremental
+        self.cross_check = cross_check
+        self.record_history = record_history
         self._rng = ensure_rng(seed)
 
     def place(self, schedule: Schedule, binding) -> TwoStageResult:
@@ -138,6 +148,9 @@ class TwoStagePlacer:
             p_single=self.p_single,
             allow_rotation=self.allow_rotation,
             seed=self._rng,
+            incremental=self.incremental,
+            cross_check=self.cross_check,
+            record_history=self.record_history,
         )
         stage1 = stage1_placer.place_modules(modules)
         fti1 = compute_fti(
@@ -200,7 +213,14 @@ class TwoStagePlacer:
         )
         engine = SimulatedAnnealing(self.stage2_params, window=window, seed=self._rng)
         inner = self.stage2_params.iterations_per_module * len(start)
-        best, stats = engine.optimize(start, cost, mover.propose, inner)
+        t_anneal = time.perf_counter()
+        best, stats = run_annealing(
+            engine, cost, mover, start, inner,
+            incremental=self.incremental,
+            cross_check=self.cross_check,
+            record_history=self.record_history,
+        )
+        anneal_s = time.perf_counter() - t_anneal
 
         repaired = False
         if not best.is_feasible():
@@ -211,4 +231,5 @@ class TwoStagePlacer:
             stats=stats,
             runtime_s=time.perf_counter() - t0,
             repaired=repaired,
+            anneal_s=anneal_s,
         )
