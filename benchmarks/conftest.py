@@ -29,13 +29,16 @@ _SECTIONS: list[tuple[str, str]] = []
 BENCH_JSON_DEFAULT = "BENCH_placement.json"
 
 
-def write_bench_json(section: str, payload: dict) -> Path:
+def write_bench_json(section: str, payload: dict, default: str = BENCH_JSON_DEFAULT) -> Path:
     """Merge *payload* under *section* into the benchmark JSON file.
 
     Read-modify-write so several benchmark modules (throughput, area
     parity, portfolio) can contribute sections to one artifact.
+    *default* names the artifact a benchmark family writes when
+    ``REPRO_BENCH_JSON`` is unset (placement benches share one file,
+    the routing-engine bench writes ``BENCH_routing.json``).
     """
-    path = Path(os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_DEFAULT))
+    path = Path(os.environ.get("REPRO_BENCH_JSON", default))
     data: dict = {}
     if path.exists():
         try:

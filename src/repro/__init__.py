@@ -62,8 +62,10 @@ from repro.placement.sa_placer import PlacementResult, SimulatedAnnealingPlacer
 from repro.placement.transport import TransportAwareCost
 from repro.placement.two_stage import TwoStagePlacer, TwoStageResult
 from repro.routing import (
+    CrossCheckTimeGrid,
     Net,
     PrioritizedRouter,
+    ReferenceTimeGrid,
     RoutedNet,
     RoutingEpoch,
     RoutingPlan,
@@ -107,6 +109,7 @@ __all__ = [
     "ModuleKind",
     "ModuleLibrary",
     "ModuleSpec",
+    "CrossCheckTimeGrid",
     "Net",
     "OccupancyGrid",
     "Operation",
@@ -124,6 +127,7 @@ __all__ = [
     "PortfolioResult",
     "PortfolioSpec",
     "PrioritizedRouter",
+    "ReferenceTimeGrid",
     "ReconfigurationError",
     "ReconfigurationPlan",
     "Rect",

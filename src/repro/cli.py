@@ -126,19 +126,28 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_route(args: argparse.Namespace) -> int:
+    from repro.routing import RoutingSynthesizer
     from repro.synthesis.flow import SynthesisFlow
     from repro.util.errors import RoutingError
 
+    if args.reference and args.cross_check:
+        raise SystemExit("route: --reference and --cross-check are mutually exclusive")
     graph, binding = PROTOCOLS[args.protocol]()
     flow = SynthesisFlow(
         placer=_placer(args),
         max_concurrent_ops=args.max_concurrent,
         route=True,
+        routing_synthesizer=RoutingSynthesizer(
+            reference=args.reference, cross_check=args.cross_check
+        ),
     )
-    result = flow.run(
-        graph,
-        explicit_binding=binding,
-        faulty_cells=[tuple(f) for f in args.faulty or ()],
+    result = _profiled(
+        args.profile,
+        lambda: flow.run(
+            graph,
+            explicit_binding=binding,
+            faulty_cells=[tuple(f) for f in args.faulty or ()],
+        ),
     )
     plan = result.routing_plan
     print(plan.table_text())
@@ -152,6 +161,14 @@ def cmd_route(args: argparse.Namespace) -> int:
         return 1
     print()
     print(result.summary())
+    mode = "reference" if args.reference else (
+        "cross-check" if args.cross_check else "packed"
+    )
+    route_s = result.stage_timings.get("route", 0.0)
+    throughput = plan.routed_count / route_s if route_s > 0 else float("inf")
+    print()
+    print(f"router [{mode}]: {plan.routed_count} nets in {route_s:.3f} s = "
+          f"{throughput:,.0f} nets/s")
     if plan.failed_count:
         # The routed subset verified, but the plan is incomplete — make
         # that visible to scripts gating on this command's exit status.
@@ -330,6 +347,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--faulty", action="append", nargs=2, type=int, metavar=("X", "Y"),
         help="known-defective cell the routing plan must avoid (repeatable)",
     )
+    route.add_argument(
+        "--reference", action="store_true",
+        help="route on the original Point-dict engine with full-round "
+             "negotiation (the packed engine's perf baseline)",
+    )
+    route.add_argument(
+        "--cross-check", action="store_true",
+        help="shadow every grid query with the reference grid and compare "
+             "both negotiation shapes (slow; pinpoints divergences)",
+    )
     route.set_defaults(func=cmd_route)
 
     portfolio = sub.add_parser(
@@ -375,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the fault-aware two-stage placer at this beta")
         p.add_argument("--max-concurrent", type=int, default=3)
 
-    for p in (place, portfolio):
+    for p in (place, route, portfolio):
         p.add_argument(
             "--profile", action="store_true",
             help="run under cProfile and print the top-20 cumulative entries "

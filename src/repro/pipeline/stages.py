@@ -125,14 +125,28 @@ class PlaceStage:
 
 
 class RouteStage:
-    """Concurrent droplet-routing synthesis over the placed assay."""
+    """Concurrent droplet-routing synthesis over the placed assay.
+
+    ``reference=True`` routes on the original Point-dict engine with
+    full-round negotiation (the perf baseline); ``cross_check=True``
+    shadows every grid query with the reference grid and compares both
+    negotiation shapes — slow, but pinpoints any packed-engine
+    divergence at the exact query or batch that disagreed.
+    """
 
     name = "route"
     uses_faults = True
 
-    def __init__(self, synthesizer: RoutingSynthesizer | None = None) -> None:
+    def __init__(
+        self,
+        synthesizer: RoutingSynthesizer | None = None,
+        reference: bool = False,
+        cross_check: bool = False,
+    ) -> None:
         self.synthesizer = (
-            synthesizer if synthesizer is not None else RoutingSynthesizer()
+            synthesizer
+            if synthesizer is not None
+            else RoutingSynthesizer(reference=reference, cross_check=cross_check)
         )
 
     def run(self, context: SynthesisContext) -> None:

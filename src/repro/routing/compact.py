@@ -87,6 +87,12 @@ def compact_routes(
         )
         for rn in worst_first:
             net_id = rn.net.net_id
+            if rn.start_step == 0 and rn.latency == rn.net.manhattan and rn.waits == 0:
+                # Already at the lower bound: arrival and moves both
+                # equal the Manhattan distance, so no candidate can be
+                # lexicographically smaller — skip the re-route (the
+                # remove/route/reserve dance would be a provable no-op).
+                continue
             grid.remove_reservation(net_id)
             try:
                 candidate = router.route_one(rn.net, grid, horizon)

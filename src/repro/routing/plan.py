@@ -105,6 +105,14 @@ class RoutedNet:
         i = min(max(step - self.start_step, 0), len(self.cells) - 1)
         return self.cells[i]
 
+    @cached_property
+    def bounds(self) -> tuple[int, int, int, int]:
+        """Bounding box ``(min_x, min_y, max_x, max_y)`` over every cell
+        the droplet ever occupies — the verifier's pair prefilter."""
+        xs = [p.x for p in self.cells]
+        ys = [p.y for p in self.cells]
+        return (min(xs), min(ys), max(xs), max(ys))
+
 
 @dataclass(frozen=True)
 class RoutingEpoch:
@@ -309,6 +317,15 @@ class RoutingPlan:
                     )
 
     def _verify_pair(self, epoch: RoutingEpoch, a: RoutedNet, b: RoutedNet) -> None:
+        # Lifetime bounding boxes further than one cell apart can never
+        # violate the fluidic constraint at any pair of steps — skip the
+        # per-step scan for the (common) far-apart pairs.
+        ax1, ay1, ax2, ay2 = a.bounds
+        bx1, by1, bx2, by2 = b.bounds
+        if (
+            bx1 - ax2 > 1 or ax1 - bx2 > 1 or by1 - ay2 > 1 or ay1 - by2 > 1
+        ):
+            return
         last = max(a.arrival_step, b.arrival_step)
         for t in range(min(a.start_step, b.start_step), last + 1):
             pa, pb = a.position_at(t), b.position_at(t)

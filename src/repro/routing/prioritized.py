@@ -12,26 +12,95 @@ net's source is provisionally reserved as a parked droplet, so early
 nets cannot plow through a droplet that has not moved yet.
 
 When a net cannot be routed, the scheduler *negotiates*: the failed
-net's priority is aged upward and the whole batch is re-routed in the
-new order, up to ``max_rounds`` times. A net that still fails either
-raises :class:`~repro.util.errors.RoutingError` (``strict``) or is
-reported as failed alongside the routed rest.
+net's priority is aged upward — along with the priorities of its
+*trappers*, the nets whose parked droplets wall it in — and the batch
+is re-routed in the new order, up to ``max_rounds`` times. A net that
+still fails either raises :class:`~repro.util.errors.RoutingError`
+(``strict``) or is reported as failed alongside the routed rest.
+
+Two negotiation shapes exist:
+
+* **incremental** (default) — after the first full round, only the
+  failed nets and their boosted trappers are ripped up and re-routed
+  against the surviving reservations; the final budgeted round falls
+  back to a full re-route as a last resort. When the first round
+  routes everything (the overwhelmingly common case) this is exactly
+  one round, bit-identical to the reference path.
+* **reference** (``reference=True``) — the original shape: every round
+  clears all reservations and re-routes the whole batch in the aged
+  order.
+
+``cross_check=True`` runs both shapes on every batch and asserts they
+produce identical plans whenever the reference path finished in one
+round (the regime where the two are equivalent by construction); under
+genuine multi-round negotiation the shapes may legitimately diverge
+and only both results' validity is required.
+
+The search itself has two implementations selected per grid: a packed
+hot path over flat integer indices (``grid.packed_api``) and a generic
+``Point``-based path used by the reference and cross-checking grids.
+Both expand states in the same canonical order and therefore return
+identical trajectories.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections.abc import Iterable, Sequence
 
 from repro.geometry import Point
-from repro.routing.plan import Net, RoutedNet, chebyshev
-from repro.routing.timegrid import TimeGrid
+from repro.routing.plan import Net, RoutedNet
+from repro.routing.timegrid import FAULTY, MODULE, PARKED_HALO
 from repro.util.errors import RoutingError
 
 #: Priority boost added per failed round — large enough to outrank any
 #: schedule-derived criticality, so starved nets jump the queue.
 DEFAULT_AGING = 1_000.0
+
+_STATIC_HARD = FAULTY | PARKED_HALO
+
+
+def _entries_block(
+    entries: list[tuple[str, str | None, str | None]],
+    net_id: str,
+    producer: str | None,
+    consumer: str | None,
+    prod_cells: frozenset[int],
+    cons_cells: frozenset[int],
+    idx: int,
+) -> bool:
+    """Foreign, non-exempt trajectory-halo entry present?"""
+    for eid, ep, ec in entries:
+        if eid == net_id:
+            continue
+        if ec is not None and ec == consumer and idx in cons_cells:
+            continue
+        if ep is not None and ep == producer and idx in prod_cells:
+            continue
+        return True
+    return False
+
+
+def _tails_block(
+    entries: list[tuple[str, str | None, str | None, int]],
+    step: int,
+    net_id: str,
+    producer: str | None,
+    consumer: str | None,
+    prod_cells: frozenset[int],
+    cons_cells: frozenset[int],
+    idx: int,
+) -> bool:
+    """Foreign, non-exempt parked tail covering *step*?"""
+    for eid, ep, ec, from_step in entries:
+        if from_step > step or eid == net_id:
+            continue
+        if ec is not None and ec == consumer and idx in cons_cells:
+            continue
+        if ep is not None and ep == producer and idx in prod_cells:
+            continue
+        return True
+    return False
 
 
 class PrioritizedRouter:
@@ -42,16 +111,22 @@ class PrioritizedRouter:
         max_rounds: int = 4,
         aging: float = DEFAULT_AGING,
         strict: bool = True,
+        reference: bool = False,
+        cross_check: bool = False,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
         self.max_rounds = max_rounds
         self.aging = aging
         self.strict = strict
+        self.reference = reference
+        self.cross_check = cross_check
+        #: Negotiation rounds the last route_all() actually ran.
+        self.last_rounds = 0
 
     # -- batch interface -----------------------------------------------------
 
-    def default_horizon(self, grid: TimeGrid, nets: Sequence[Net]) -> int:
+    def default_horizon(self, grid, nets: Sequence[Net]) -> int:
         """Step budget for one epoch: worst single haul plus congestion
         slack per net."""
         longest = max((n.manhattan for n in nets), default=0)
@@ -60,15 +135,15 @@ class PrioritizedRouter:
     def route_all(
         self,
         nets: Iterable[Net],
-        grid: TimeGrid,
+        grid,
         horizon: int | None = None,
         strict: bool | None = None,
     ) -> tuple[list[RoutedNet], list[Net]]:
         """Route a batch concurrently; returns ``(routed, failed)``.
 
         The grid is left holding the reservations of the returned
-        ``routed`` set, so a compaction pass can pick up where the
-        negotiation ended.
+        ``routed`` set (plus source parks for the failed), so a
+        compaction pass can pick up where the negotiation ended.
         """
         strict = self.strict if strict is None else strict
         nets = list(nets)
@@ -80,50 +155,17 @@ class PrioritizedRouter:
         if horizon is None:
             horizon = self.default_horizon(grid, nets)
 
-        failures = dict.fromkeys(ids, 0)
-
-        def ordered() -> list[Net]:
-            return sorted(
-                nets,
-                key=lambda n: (
-                    -(n.priority + self.aging * failures[n.net_id]),
-                    -n.manhattan,
-                    n.net_id,
-                ),
+        if self.cross_check:
+            routed, failed = self._route_all_cross_checked(nets, grid, horizon)
+        else:
+            failures = dict.fromkeys(ids, 0)
+            trappers = self._source_adjacency(nets)
+            negotiate = (
+                self._negotiate_reference if self.reference
+                else self._negotiate_incremental
             )
-
-        best: tuple[list[RoutedNet], list[Net]] | None = None
-        for _ in range(self.max_rounds):
-            order = ordered()
-            routed, failed = self._route_round(order, grid, horizon)
-            if not failed:
-                return routed, []
-            if best is None or len(failed) < len(best[1]):
-                best = (routed, failed)
-            for net in failed:
-                failures[net.net_id] += 1
-                # Yield negotiation: a net whose droplet starts walled
-                # in by a neighbor's still-parked droplet cannot be
-                # helped by promoting itself — the *neighbor* must route
-                # first and clear the way. Boost the trappers harder
-                # than the trapped.
-                for other in nets:
-                    if (
-                        other.net_id != net.net_id
-                        and chebyshev(other.source, net.source) <= 2
-                    ):
-                        failures[other.net_id] += 2
-        assert best is not None
-        routed, failed = best
-        # Leave the grid consistent with the round being returned —
-        # rebuild the reservations directly rather than re-running
-        # every A* search of the best round.
-        grid.clear_reservations()
-        for net in failed:
-            grid.reserve(RoutedNet(net, (net.source,)), horizon)
-        for rn in routed:
-            grid.reserve(rn, horizon)
-        if strict:
+            routed, failed = negotiate(nets, grid, horizon, failures, trappers)
+        if failed and strict:
             names = ", ".join(n.net_id for n in failed)
             raise RoutingError(
                 f"{len(failed)} net(s) unroutable after {self.max_rounds} "
@@ -131,8 +173,191 @@ class PrioritizedRouter:
             )
         return routed, failed
 
+    def _route_all_cross_checked(
+        self, nets: list[Net], grid, horizon: int
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        """Run the reference and incremental negotiation shapes back to
+        back on the same grid and compare where equivalence is owed."""
+        trappers = self._source_adjacency(nets)
+        ref_routed, ref_failed = self._negotiate_reference(
+            nets, grid, horizon, dict.fromkeys((n.net_id for n in nets), 0), trappers
+        )
+        ref_rounds = self.last_rounds
+        routed, failed = self._negotiate_incremental(
+            nets, grid, horizon, dict.fromkeys((n.net_id for n in nets), 0), trappers
+        )
+        if ref_rounds == 1 and (
+            routed != ref_routed
+            or [n.net_id for n in failed] != [n.net_id for n in ref_failed]
+        ):
+            raise RoutingError(
+                "cross-check: incremental negotiation diverged from the "
+                "reference path on a single-round batch "
+                f"({len(routed)}/{len(ref_routed)} routed)"
+            )
+        return routed, failed
+
+    @staticmethod
+    def _source_adjacency(nets: Sequence[Net]) -> dict[str, tuple[str, ...]]:
+        """Per-net trapper lists: nets whose source parks within
+        Chebyshev distance 2 — precomputed once per batch from a
+        source-cell index instead of an O(n^2) scan per failure."""
+        by_cell: dict[tuple[int, int], list[int]] = {}
+        for i, net in enumerate(nets):
+            by_cell.setdefault((net.source[0], net.source[1]), []).append(i)
+        out: dict[str, tuple[str, ...]] = {}
+        for i, net in enumerate(nets):
+            sx, sy = net.source
+            near: set[int] = set()
+            for dx in (-2, -1, 0, 1, 2):
+                for dy in (-2, -1, 0, 1, 2):
+                    bucket = by_cell.get((sx + dx, sy + dy))
+                    if bucket:
+                        near.update(bucket)
+            near.discard(i)
+            out[net.net_id] = tuple(nets[j].net_id for j in sorted(near))
+        return out
+
+    def _order_key(self, failures: dict[str, int]):
+        aging = self.aging
+
+        def key(n: Net):
+            return (-(n.priority + aging * failures[n.net_id]), -n.manhattan, n.net_id)
+
+        return key
+
+    def _negotiate_reference(
+        self,
+        nets: list[Net],
+        grid,
+        horizon: int,
+        failures: dict[str, int],
+        trappers: dict[str, tuple[str, ...]],
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        """The original negotiation: every round clears the grid and
+        re-routes the whole batch in aged-priority order."""
+        key = self._order_key(failures)
+        best: tuple[list[RoutedNet], list[Net]] | None = None
+        for rounds in range(1, self.max_rounds + 1):
+            order = sorted(nets, key=key)
+            routed, failed = self._route_round(order, grid, horizon)
+            self.last_rounds = rounds
+            if not failed:
+                return routed, []
+            if best is None or len(failed) < len(best[1]):
+                best = (routed, failed)
+            self._age(failed, failures, trappers)
+        assert best is not None
+        routed, failed = best
+        # Leave the grid consistent with the round being returned —
+        # rebuild the reservations directly rather than re-running
+        # every A* search of the best round.
+        self._rebuild(grid, routed, failed, horizon)
+        return routed, failed
+
+    def _negotiate_incremental(
+        self,
+        nets: list[Net],
+        grid,
+        horizon: int,
+        failures: dict[str, int],
+        trappers: dict[str, tuple[str, ...]],
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        """Rip-up negotiation: after the first full round, only failed
+        nets and their boosted trappers are re-routed against the
+        surviving reservations; the final budgeted round is a full
+        re-route kept as a last resort."""
+        key = self._order_key(failures)
+        order = sorted(nets, key=key)
+        routed, failed = self._route_round(order, grid, horizon)
+        self.last_rounds = 1
+        if not failed:
+            return routed, []
+        best = (routed, failed)
+        grid_holds_best = True
+        for rounds in range(2, self.max_rounds + 1):
+            self._age(failed, failures, trappers)
+            if rounds == self.max_rounds:
+                routed, failed = self._route_round(sorted(nets, key=key), grid, horizon)
+            else:
+                routed, failed = self._reroute_subset(
+                    routed, failed, trappers, grid, horizon, key
+                )
+            self.last_rounds = rounds
+            if not failed:
+                return routed, []
+            if len(failed) < len(best[1]):
+                best = (routed, failed)
+                grid_holds_best = True
+            else:
+                grid_holds_best = False
+        routed, failed = best
+        if not grid_holds_best:
+            self._rebuild(grid, routed, failed, horizon)
+        return routed, failed
+
+    def _reroute_subset(
+        self,
+        routed: list[RoutedNet],
+        failed: list[Net],
+        trappers: dict[str, tuple[str, ...]],
+        grid,
+        horizon: int,
+        key,
+    ) -> tuple[list[RoutedNet], list[Net]]:
+        """One incremental round: rip up the failed nets' trappers, park
+        everything ripped up, then re-route the set in aged order
+        against the untouched survivors."""
+        ripup_ids = {n.net_id for n in failed}
+        for net in failed:
+            ripup_ids.update(trappers[net.net_id])
+        survivors = [rn for rn in routed if rn.net.net_id not in ripup_ids]
+        victims = [rn for rn in routed if rn.net.net_id in ripup_ids]
+        for rn in victims:
+            grid.remove_reservation(rn.net.net_id)
+            grid.reserve(RoutedNet(rn.net, (rn.net.source,)), horizon)
+        # Failed nets are already parked at their sources by the
+        # previous round; only the victims needed re-parking.
+        new_routed = list(survivors)
+        new_failed: list[Net] = []
+        for net in sorted([rn.net for rn in victims] + failed, key=key):
+            grid.remove_reservation(net.net_id)
+            try:
+                rn = self.route_one(net, grid, horizon)
+            except RoutingError:
+                new_failed.append(net)
+                grid.reserve(RoutedNet(net, (net.source,)), horizon)
+                continue
+            grid.reserve(rn, horizon)
+            new_routed.append(rn)
+        return new_routed, new_failed
+
+    def _age(
+        self,
+        failed: Sequence[Net],
+        failures: dict[str, int],
+        trappers: dict[str, tuple[str, ...]],
+    ) -> None:
+        """Age a failed round's priorities. Yield negotiation: a net
+        whose droplet starts walled in by a neighbor's still-parked
+        droplet cannot be helped by promoting itself — the *neighbor*
+        must route first and clear the way. Boost the trappers harder
+        than the trapped."""
+        for net in failed:
+            failures[net.net_id] += 1
+            for trapper_id in trappers[net.net_id]:
+                failures[trapper_id] += 2
+
+    @staticmethod
+    def _rebuild(grid, routed: Sequence[RoutedNet], failed: Sequence[Net], horizon: int) -> None:
+        grid.clear_reservations()
+        for net in failed:
+            grid.reserve(RoutedNet(net, (net.source,)), horizon)
+        for rn in routed:
+            grid.reserve(rn, horizon)
+
     def _route_round(
-        self, order: Sequence[Net], grid: TimeGrid, horizon: int
+        self, order: Sequence[Net], grid, horizon: int
     ) -> tuple[list[RoutedNet], list[Net]]:
         grid.clear_reservations()
         for net in order:
@@ -153,7 +378,7 @@ class PrioritizedRouter:
 
     # -- single-net search ---------------------------------------------------
 
-    def route_one(self, net: Net, grid: TimeGrid, horizon: int) -> RoutedNet:
+    def route_one(self, net: Net, grid, horizon: int) -> RoutedNet:
         """Time-expanded A* for one net against the grid's current
         reservations. Raises :class:`RoutingError` when no trajectory
         arrives (and can stay parked) within *horizon* steps."""
@@ -177,13 +402,162 @@ class PrioritizedRouter:
                 f"net {net.net_id}: goal {goal} is statically blocked "
                 "(faulty cell, parked-droplet halo, or foreign module)"
             )
+        if getattr(grid, "packed_api", False):
+            return self._route_one_packed(net, grid, horizon)
+        return self._route_one_generic(net, grid, horizon)
 
-        counter = itertools.count()
+    def _route_one_packed(self, net: Net, grid, horizon: int) -> RoutedNet:
+        """The hot path: flat integer states over the packed grid.
+
+        A state is ``step*area + idx`` — the same key the grid uses for
+        its halo entries, so each reservation probe is one dict lookup.
+        Expansion order matches :meth:`_route_one_generic` exactly
+        (wait, +x, -x, +y, -y), so both searches pop equal-cost states
+        in the same order and return identical trajectories.
+        """
+        start, goal = net.source, net.goal
+        width, height, area = grid.width, grid.height, grid.area
+        src = (start[1] - 1) * width + (start[0] - 1)
+        dst = (goal[1] - 1) * width + (goal[0] - 1)
+        static = grid._static
+        module_cells = grid._module_cells
+        halo = grid._halo
+        tails = grid._tail
+        neighbor_table = grid.neighbors
+        exempt = net.exempt_ops
+        net_id, producer, consumer = net.net_id, net.producer, net.consumer
+        prod_cells = grid.region_idxs(producer)
+        cons_cells = grid.region_idxs(consumer)
+
+        # Per-cell Manhattan distance to the goal, row by row.
+        gx, gy = goal
+        dist: list[int] = []
+        for y in range(1, height + 1):
+            dy = abs(y - gy)
+            dist.extend(abs(x - gx) + dy for x in range(1, width + 1))
+
+        heappush, heappop = heapq.heappush, heapq.heappop
+        open_heap: list[tuple[int, int, int, int]] = [(dist[src], 0, 0, src)]
+        came_from: dict[int, int] = {}
+        seen: set[int] = {src}
+        pushes = 1
+        while open_heap:
+            _, step, _, idx = heappop(open_heap)
+            if idx == dst and self._tail_free_packed(
+                grid, dst, step, horizon, net_id, producer, consumer,
+                prod_cells, cons_cells,
+            ):
+                return RoutedNet(
+                    net, self._reconstruct_packed(grid, came_from, step * area + idx)
+                )
+            if step >= horizon:
+                continue
+            nstep = step + 1
+            base = nstep * area
+            here = step * area + idx
+            for nidx in neighbor_table[idx]:
+                state = base + nidx
+                if state in seen:
+                    continue
+                m = static[nidx]
+                if nidx == src:
+                    # Source grandfather: reservations and parked halos
+                    # never evict a droplet from its own parking spot.
+                    if m & FAULTY:
+                        continue
+                    if m & MODULE and not module_cells[nidx] <= exempt:
+                        continue
+                else:
+                    if m:
+                        if m & _STATIC_HARD:
+                            continue
+                        if not module_cells[nidx] <= exempt:
+                            continue
+                    entries = halo.get(state)
+                    if entries is not None and _entries_block(
+                        entries, net_id, producer, consumer,
+                        prod_cells, cons_cells, nidx,
+                    ):
+                        continue
+                    tail_entries = tails.get(nidx)
+                    if tail_entries is not None and _tails_block(
+                        tail_entries, nstep, net_id, producer, consumer,
+                        prod_cells, cons_cells, nidx,
+                    ):
+                        continue
+                seen.add(state)
+                came_from[state] = here
+                heappush(open_heap, (nstep + dist[nidx], nstep, pushes, nidx))
+                pushes += 1
+        raise RoutingError(
+            f"net {net.net_id}: no trajectory {start} -> {goal} within "
+            f"{horizon} steps on {grid}"
+        )
+
+    @staticmethod
+    def _tail_free_packed(
+        grid,
+        dst: int,
+        step: int,
+        horizon: int,
+        net_id: str,
+        producer: str | None,
+        consumer: str | None,
+        prod_cells: frozenset[int],
+        cons_cells: frozenset[int],
+    ) -> bool:
+        """After arrival the droplet parks at its goal; the cell must
+        stay clear of other reservations through the horizon. Parked
+        tails answer in O(entries); trajectory halos are scanned only up
+        to the cell's reserved-free-from bound, not the horizon."""
+        tail_entries = grid._tail.get(dst)
+        if tail_entries:
+            for eid, ep, ec, from_step in tail_entries:
+                if eid == net_id:
+                    continue
+                if max(from_step, step + 1) > horizon:
+                    continue
+                if ec is not None and ec == consumer and dst in cons_cells:
+                    continue
+                if ep is not None and ep == producer and dst in prod_cells:
+                    continue
+                return False
+        last = grid._cell_last.get(dst, -1)
+        if last <= step:
+            return True
+        halo = grid._halo
+        area = grid.area
+        for s in range(step + 1, min(last, horizon) + 1):
+            entries = halo.get(s * area + dst)
+            if entries is not None and _entries_block(
+                entries, net_id, producer, consumer, prod_cells, cons_cells, dst
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _reconstruct_packed(
+        grid, came_from: dict[int, int], state: int
+    ) -> tuple[Point, ...]:
+        area = grid.area
+        points = grid._points
+        path = [points[state % area]]
+        while state in came_from:
+            state = came_from[state]
+            path.append(points[state % area])
+        return tuple(reversed(path))
+
+    def _route_one_generic(self, net: Net, grid, horizon: int) -> RoutedNet:
+        """Point-based search for grids without the packed API (the
+        reference and cross-checking grids); every occupancy probe goes
+        through the grid's public ``blocked()``."""
+        start, goal = net.source, net.goal
         open_heap: list[tuple[int, int, int, Point]] = [
-            (start.manhattan_distance(goal), 0, next(counter), start)
+            (start.manhattan_distance(goal), 0, 0, start)
         ]
         came_from: dict[tuple[Point, int], tuple[Point, int]] = {}
         seen: set[tuple[Point, int]] = {(start, 0)}
+        pushes = 1
         while open_heap:
             _, step, _, cell = heapq.heappop(open_heap)
             if cell == goal and self._tail_free(grid, net, goal, step, horizon):
@@ -203,17 +577,18 @@ class PrioritizedRouter:
                     (
                         step + 1 + nxt.manhattan_distance(goal),
                         step + 1,
-                        next(counter),
+                        pushes,
                         nxt,
                     ),
                 )
+                pushes += 1
         raise RoutingError(
             f"net {net.net_id}: no trajectory {start} -> {goal} within "
             f"{horizon} steps on {grid}"
         )
 
     @staticmethod
-    def _tail_free(grid: TimeGrid, net: Net, goal: Point, step: int, horizon: int) -> bool:
+    def _tail_free(grid, net: Net, goal: Point, step: int, horizon: int) -> bool:
         """After arrival the droplet parks at its goal; the cell must
         stay clear of other reservations through the horizon."""
         return all(

@@ -28,7 +28,8 @@ from repro.placement.transport import dependency_edges
 from repro.routing.compact import CompactionReport, compact_routes
 from repro.routing.plan import Net, RoutingEpoch, RoutingPlan, chebyshev
 from repro.routing.prioritized import PrioritizedRouter
-from repro.routing.timegrid import TimeGrid
+from repro.routing.reference import CrossCheckTimeGrid, ReferenceTimeGrid
+from repro.routing.timegrid import FAULTY, MODULE, TimeGrid
 
 if TYPE_CHECKING:  # synthesis.flow imports this module; avoid the cycle
     from repro.assay.graph import SequencingGraph
@@ -44,12 +45,37 @@ class RoutingSynthesizer:
         compact: bool = True,
         max_passes: int = 3,
         margin: int = 2,
+        reference: bool = False,
+        cross_check: bool = False,
     ) -> None:
         if margin < 0:
             raise ValueError(f"margin must be >= 0, got {margin}")
+        if reference and cross_check:
+            raise ValueError("reference and cross_check are mutually exclusive")
+        if router is not None and (reference or cross_check):
+            # Half-applied modes are worse than none: the flags must
+            # configure both the grid factory and the router's
+            # negotiation shape, and silently overriding a caller's
+            # router (or only swapping the grid) would mix semantics.
+            raise ValueError(
+                "pass reference/cross_check on the router itself when "
+                "supplying a custom router"
+            )
         #: Non-strict by default: an unroutable net is reported through
         #: the plan's routability instead of aborting the whole flow.
-        self.router = router if router is not None else PrioritizedRouter(strict=False)
+        #: ``reference=True`` selects the original engine end to end
+        #: (Point-dict grid + full-round negotiation); ``cross_check``
+        #: runs the packed grid shadowed by the reference grid and both
+        #: negotiation shapes, asserting agreement.
+        self.router = router if router is not None else PrioritizedRouter(
+            strict=False, reference=reference, cross_check=cross_check
+        )
+        if reference:
+            self.grid_factory = ReferenceTimeGrid
+        elif cross_check:
+            self.grid_factory = CrossCheckTimeGrid
+        else:
+            self.grid_factory = TimeGrid
         self.compact = compact
         self.max_passes = max_passes
         #: Boundary-lane width around the core area — the chip's free
@@ -118,7 +144,7 @@ class RoutingSynthesizer:
         width: int,
         height: int,
     ) -> RoutingEpoch:
-        grid = TimeGrid(width, height)
+        grid = self.grid_factory(width, height)
         grid.add_faulty(faulty)
 
         # Modules operating at the release instant are hard obstacles,
@@ -332,6 +358,10 @@ class RoutingSynthesizer:
         array, which costs far more routability than a slightly longer
         evacuation haul.
         """
+        if getattr(grid, "packed_api", False):
+            return RoutingSynthesizer._nearest_parking_packed(
+                grid, start, parked, keep_clear
+            )
         legal: list[Point] = []
         for x in range(1, grid.width + 1):
             for y in range(1, grid.height + 1):
@@ -365,9 +395,75 @@ class RoutingSynthesizer:
         return legal[0]
 
     @staticmethod
+    def _nearest_parking_packed(
+        grid: TimeGrid,
+        start: Point,
+        parked: set[Point],
+        keep_clear: set[Point],
+    ) -> Point | None:
+        """Packed-grid parking search: one multi-source Chebyshev BFS
+        replaces the per-cell min-over-parked scans, and connectivity
+        runs over byte masks. Candidate order, tie-breaking, and the
+        returned cell are identical to the generic implementation.
+        """
+        w, h, area = grid.width, grid.height, grid.area
+        static = grid._static
+        # Exact min Chebyshev distance to any parked droplet, saturated
+        # at 5: the preference key caps at 4 and legality needs > 1, so
+        # 5 is indistinguishable from the generic code's "no parked
+        # droplet anywhere" default of 99.
+        spacing = [5] * area
+        if parked:
+            frontier = [grid.pack(q) for q in parked]
+            for i in frontier:
+                spacing[i] = 0
+            d = 1
+            while frontier and d < 5:
+                nxt: list[int] = []
+                for i in frontier:
+                    x, y = i % w, i // w
+                    for dy in (-1, 0, 1):
+                        yy = y + dy
+                        if not 0 <= yy < h:
+                            continue
+                        base = yy * w
+                        for dx in (-1, 0, 1):
+                            xx = x + dx
+                            if 0 <= xx < w and spacing[base + xx] > d:
+                                spacing[base + xx] = d
+                                nxt.append(base + xx)
+                frontier = nxt
+                d += 1
+        legal: list[Point] = []
+        sx, sy = start
+        keys: dict[Point, tuple[int, int]] = {}
+        for x in range(1, w + 1):
+            col = x - 1
+            for y in range(1, h + 1):
+                i = (y - 1) * w + col
+                if static[i]:
+                    continue
+                cell = Point(x, y)
+                if cell == start or cell in keep_clear:
+                    continue
+                s = spacing[i]
+                if s > 1:
+                    legal.append(cell)
+                    keys[cell] = (min(s, 4), -(abs(x - sx) + abs(y - sy)))
+        if not legal:
+            return None
+        legal.sort(key=keys.__getitem__, reverse=True)
+        for cell in legal:
+            if RoutingSynthesizer._keeps_connected(grid, cell, parked):
+                return cell
+        return legal[0]
+
+    @staticmethod
     def _keeps_connected(grid: TimeGrid, candidate: Point, parked: set[Point]) -> bool:
         """True if parking at *candidate* leaves the free cells (off
         modules, faults, and all parked halos) 4-connected."""
+        if getattr(grid, "packed_api", False):
+            return RoutingSynthesizer._keeps_connected_packed(grid, candidate, parked)
         halos = set(parked)
         halos.add(candidate)
 
@@ -393,6 +489,49 @@ class RoutingSynthesizer:
                     seen.add(nxt)
                     queue.append(nxt)
         return len(seen) == len(free_cells)
+
+    @staticmethod
+    def _keeps_connected_packed(
+        grid: TimeGrid, candidate: Point, parked: set[Point]
+    ) -> bool:
+        """Byte-mask flood fill with the same seed cell (first free cell
+        in column-major order) and the same free predicate as the
+        generic implementation."""
+        w, h, area = grid.width, grid.height, grid.area
+        static = grid._static
+        hard = FAULTY | MODULE
+        free = bytearray(1 if not static[i] & hard else 0 for i in range(area))
+        for q in (*parked, candidate):
+            for i in grid._halo_idxs(q):
+                free[i] = 0
+        total = 0
+        seed = -1
+        for x in range(w):
+            for y in range(h):
+                i = y * w + x
+                if free[i]:
+                    total += 1
+                    if seed < 0:
+                        seed = i
+        if seed < 0:
+            return False
+        seen_count = 1
+        free[seed] = 0  # reuse the mask as the visited filter
+        stack = [seed]
+        while stack:
+            i = stack.pop()
+            x, y = i % w, i // w
+            for j in (
+                i + 1 if x + 1 < w else -1,
+                i - 1 if x > 0 else -1,
+                i + w if y + 1 < h else -1,
+                i - w if y > 0 else -1,
+            ):
+                if j >= 0 and free[j]:
+                    free[j] = 0
+                    seen_count += 1
+                    stack.append(j)
+        return seen_count == total
 
     @staticmethod
     def _nearest_free(

@@ -20,6 +20,34 @@ Reservations carry their net's producer/consumer so that merge and
 split exemptions apply: droplets feeding the same consumer ignore each
 other inside that consumer's footprint, and shares split from the same
 producer ignore each other inside the producer's footprint.
+
+**Packed representation.** This implementation is built for the A* hot
+path: a cell is the flat integer index ``(y-1)*width + (x-1)``, static
+obstacles are preclassified into a per-cell byte mask (FAULTY /
+PARKED_HALO / MODULE bits), and in-flight halos live in one flat dict
+keyed by ``step*area + idx`` — the same packing the router uses for its
+search states, so one multiply-add answers an occupancy probe with no
+``Point`` allocation. Two structures make reservations cheap:
+
+* the **parked tail** — after arrival a droplet blocks its goal halo
+  for *every* remaining step, so instead of materializing
+  ``O(horizon)`` per-step entries the tail is stored once per cell as
+  ``(net, from_step)`` and compared against the queried step. A
+  reservation therefore costs ``O(path)``, not ``O(horizon)``.
+* the per-cell **reserved-free-from bound** — ``_cell_last[idx]`` is an
+  upper bound on the last step any trajectory halo touches the cell,
+  maintained by ``reserve()`` and left conservatively stale by
+  ``remove_reservation()`` (an upper bound stays an upper bound). The
+  router's arrival check scans only ``(step, min(bound, horizon)]``
+  instead of the whole horizon.
+
+Answers are defined on the array: off-array cells report statically
+blocked (a droplet can never leave the chip), and queries are only
+compared against the reference grid on in-bounds cells. Semantics on
+the array are bit-identical to
+:class:`~repro.routing.reference.ReferenceTimeGrid` for every step a
+reservation's horizon covers; the tail keeps a parked droplet blocking
+*beyond* the horizon too, which no search ever asks about.
 """
 
 from __future__ import annotations
@@ -29,51 +57,132 @@ from collections.abc import Iterable
 from repro.geometry import Point, Rect
 from repro.routing.plan import Net, RoutedNet
 
+#: Static-obstacle byte-mask bits, preclassified per cell.
+FAULTY = 1
+PARKED_HALO = 2
+MODULE = 4
+
 
 class TimeGrid:
-    """Per-timestep obstacle sets over a ``width x height`` cell array."""
+    """Packed per-timestep obstacle sets over a ``width x height`` array."""
+
+    #: The prioritized router keys its packed fast path off this flag.
+    packed_api = True
 
     def __init__(self, width: int, height: int) -> None:
         if width < 1 or height < 1:
             raise ValueError(f"array dimensions must be >= 1, got {width}x{height}")
         self.width = width
         self.height = height
+        self.area = width * height
+        #: Preclassified static-obstacle byte mask, one cell per index.
+        self._static = bytearray(self.area)
+        #: As-added obstacle sets, kept for the public properties.
         self._faulty: set[Point] = set()
         self._parked: set[Point] = set()
-        self._parked_halo: set[Point] = set()
-        #: cell -> owner op ids whose active footprints cover it.
-        self._module_cells: dict[Point, set[str]] = {}
+        #: packed idx -> owner op ids whose active footprints cover it.
+        self._module_cells: dict[int, set[str]] = {}
         #: op id -> exemption rects (merge/split zones accumulate: a
         #: relocated plug adds its spot without losing the footprint).
         self._regions: dict[str, list[Rect]] = {}
-        #: step -> cell -> [(net_id, producer, consumer), ...] halo entries.
-        self._halo: dict[int, dict[Point, list[tuple[str, str | None, str | None]]]] = {}
-        #: net_id -> (step, cell) keys for O(path) removal.
-        self._net_keys: dict[str, list[tuple[int, Point]]] = {}
+        #: op id -> packed in-bounds region cells, cached for the router.
+        self._region_cells: dict[str, frozenset[int]] = {}
+        #: step*area + idx -> [(net_id, producer, consumer), ...] halo
+        #: entries of in-flight trajectory positions.
+        self._halo: dict[int, list[tuple[str, str | None, str | None]]] = {}
+        #: idx -> [(net_id, producer, consumer, from_step), ...] parked
+        #: tails: the goal halo a droplet holds from arrival onward.
+        self._tail: dict[int, list[tuple[str, str | None, str | None, int]]] = {}
+        #: idx -> upper bound on the last step any _halo entry touches
+        #: the cell (the reserved-free-from bound, see module docs).
+        self._cell_last: dict[int, int] = {}
+        #: net_id -> (halo keys, tail idxs) for O(path) removal.
+        self._net_keys: dict[str, tuple[list[int], list[int]]] = {}
+        #: packed idx -> Point, for O(1) unpacking.
+        self._points = [
+            Point(x, y)
+            for y in range(1, height + 1)
+            for x in range(1, width + 1)
+        ]
+        self._neighbors: list[tuple[int, ...]] | None = None
+
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, p: Point) -> int:
+        """Flat index of an in-bounds cell: ``(y-1)*width + (x-1)``."""
+        return (p[1] - 1) * self.width + (p[0] - 1)
+
+    def unpack(self, idx: int) -> Point:
+        """Cell at flat index *idx*."""
+        return self._points[idx]
+
+    @property
+    def neighbors(self) -> list[tuple[int, ...]]:
+        """Per-cell expansion table for the time-expanded search: the
+        cell itself (wait-in-place) followed by its in-bounds 4-
+        neighbors, in the router's canonical ``(wait, +x, -x, +y, -y)``
+        order so packed and reference searches tie-break identically."""
+        if self._neighbors is None:
+            w, h = self.width, self.height
+            table: list[tuple[int, ...]] = []
+            for y in range(1, h + 1):
+                for x in range(1, w + 1):
+                    idx = (y - 1) * w + (x - 1)
+                    row = [idx]
+                    if x < w:
+                        row.append(idx + 1)
+                    if x > 1:
+                        row.append(idx - 1)
+                    if y < h:
+                        row.append(idx + w)
+                    if y > 1:
+                        row.append(idx - w)
+                    table.append(tuple(row))
+            self._neighbors = table
+        return self._neighbors
+
+    def _halo_idxs(self, p: Point) -> list[int]:
+        """Packed indices of the in-bounds 3x3 halo around *p*."""
+        w, h = self.width, self.height
+        px, py = p
+        out = []
+        for yy in (py - 1, py, py + 1):
+            if 1 <= yy <= h:
+                base = (yy - 1) * w - 1
+                for xx in (px - 1, px, px + 1):
+                    if 1 <= xx <= w:
+                        out.append(base + xx)
+        return out
 
     # -- static obstacles ----------------------------------------------------
 
     def in_bounds(self, p: Point) -> bool:
-        return 1 <= p.x <= self.width and 1 <= p.y <= self.height
+        return 1 <= p[0] <= self.width and 1 <= p[1] <= self.height
 
     def add_faulty(self, cells: Iterable[Point | tuple[int, int]]) -> None:
         """Mark cells permanently unusable (defective electrodes)."""
-        self._faulty.update(Point(*c) for c in cells)
+        for c in cells:
+            p = Point(*c)
+            self._faulty.add(p)
+            if self.in_bounds(p):
+                self._static[self.pack(p)] |= FAULTY
 
     def add_parked(self, cells: Iterable[Point | tuple[int, int]]) -> None:
         """Mark parked droplets: the cell plus its one-cell fluidic halo."""
         for c in cells:
             p = Point(*c)
             self._parked.add(p)
-            for dx in (-1, 0, 1):
-                for dy in (-1, 0, 1):
-                    self._parked_halo.add(Point(p.x + dx, p.y + dy))
+            for idx in self._halo_idxs(p):
+                self._static[idx] |= PARKED_HALO
 
     def add_module(self, footprint: Rect, owner: str) -> None:
         """Block *footprint* for every net not owned by *owner*; also
         registers the footprint as the owner's merge/split zone."""
         for cell in footprint.cells():
-            self._module_cells.setdefault(cell, set()).add(owner)
+            if self.in_bounds(cell):
+                idx = self.pack(cell)
+                self._module_cells.setdefault(idx, set()).add(owner)
+                self._static[idx] |= MODULE
         self.add_region(owner, footprint)
 
     def add_region(self, op_id: str, footprint: Rect) -> None:
@@ -83,11 +192,29 @@ class TimeGrid:
         rects = self._regions.setdefault(op_id, [])
         if footprint not in rects:
             rects.append(footprint)
+            self._region_cells.pop(op_id, None)
 
     def in_region(self, op_id: str | None, cell: Point) -> bool:
         if op_id is None:
             return False
         return any(r.contains_point(cell) for r in self._regions.get(op_id, ()))
+
+    def region_idxs(self, op_id: str | None) -> frozenset[int]:
+        """Packed in-bounds cells of all of op's registered zones —
+        precomputed once so the router's exemption checks are set
+        membership instead of per-query rect scans."""
+        if op_id is None:
+            return frozenset()
+        cached = self._region_cells.get(op_id)
+        if cached is None:
+            cached = frozenset(
+                self.pack(cell)
+                for rect in self._regions.get(op_id, ())
+                for cell in rect.cells()
+                if self.in_bounds(cell)
+            )
+            self._region_cells[op_id] = cached
+        return cached
 
     def regions(self) -> tuple[tuple[str, Rect], ...]:
         """Registered (op id, zone rect) pairs, for plan bookkeeping."""
@@ -117,82 +244,136 @@ class TimeGrid:
         *ignore_parked_halo* grandfathers a droplet's own parking spot:
         a source that happens to sit next to another parked droplet is
         where the droplet already *is* — routing can only move it away.
+        Off-array cells are always blocked.
         """
-        if cell in self._faulty:
+        x, y = cell
+        if not (1 <= x <= self.width and 1 <= y <= self.height):
             return True
-        if not ignore_parked_halo and cell in self._parked_halo:
+        m = self._static[(y - 1) * self.width + (x - 1)]
+        if not m:
+            return False
+        if m & FAULTY:
             return True
-        owners = self._module_cells.get(cell)
-        return bool(owners) and not owners <= exempt_ops
+        if m & PARKED_HALO and not ignore_parked_halo:
+            return True
+        if m & MODULE:
+            return not self._module_cells[(y - 1) * self.width + (x - 1)] <= exempt_ops
+        return False
 
     # -- droplet reservations ------------------------------------------------
 
     def reserve(self, routed: RoutedNet, horizon: int) -> None:
-        """Reserve a trajectory (and its post-arrival parking tail up to
-        *horizon*) with the spatio-temporal fluidic halo."""
+        """Reserve a trajectory (and its post-arrival parking tail) with
+        the spatio-temporal fluidic halo.
+
+        The in-flight prefix (steps before arrival) is materialized per
+        step; the parked tail is stored once with its ``from_step``, so
+        the cost is proportional to the path, not the horizon.
+        """
         net = routed.net
         if net.net_id in self._net_keys:
             raise ValueError(f"net {net.net_id!r} is already reserved")
         entry = (net.net_id, net.producer, net.consumer)
+        start = routed.start_step
+        arrival = routed.arrival_step
+        cells = routed.cells
         # Collect each step's halo cells as a set first: the t-1/t/t+1
-        # windows of consecutive steps overlap, and a waiting or parked
-        # droplet would otherwise insert the same (step, cell) entry
-        # three times over.
-        cells_by_step: dict[int, set[Point]] = {}
-        for t in range(routed.start_step, horizon + 1):
-            p = routed.position_at(t)
-            halo = {
-                Point(p.x + dx, p.y + dy)
-                for dx in (-1, 0, 1)
-                for dy in (-1, 0, 1)
-            }
+        # windows of consecutive steps overlap, and a waiting droplet
+        # would otherwise insert the same (step, cell) entry repeatedly.
+        cells_by_step: dict[int, set[int]] = {}
+        for t in range(start, min(arrival - 1, horizon) + 1):
+            halo = self._halo_idxs(cells[t - start])
             for s in (t - 1, t, t + 1):
                 if s >= 0:
                     cells_by_step.setdefault(s, set()).update(halo)
-        keys = self._net_keys.setdefault(net.net_id, [])
-        for s, cells in cells_by_step.items():
-            per_step = self._halo.setdefault(s, {})
-            for c in cells:
-                per_step.setdefault(c, []).append(entry)
-                keys.append((s, c))
+        halo_map = self._halo
+        cell_last = self._cell_last
+        halo_keys: list[int] = []
+        tail_idxs: list[int] = []
+        area = self.area
+        for s, idxs in cells_by_step.items():
+            base = s * area
+            for i in idxs:
+                key = base + i
+                lst = halo_map.get(key)
+                if lst is None:
+                    halo_map[key] = [entry]
+                else:
+                    lst.append(entry)
+                halo_keys.append(key)
+                if cell_last.get(i, -1) < s:
+                    cell_last[i] = s
+        if horizon >= arrival:
+            tail_entry = (net.net_id, net.producer, net.consumer, max(arrival - 1, 0))
+            for i in self._halo_idxs(cells[-1]):
+                self._tail.setdefault(i, []).append(tail_entry)
+                tail_idxs.append(i)
+        self._net_keys[net.net_id] = (halo_keys, tail_idxs)
 
     def remove_reservation(self, net_id: str) -> None:
         """Drop one net's reservation (re-routing during negotiation or
-        compaction)."""
-        for s, c in self._net_keys.pop(net_id, ()):
-            entries = self._halo.get(s, {}).get(c)
+        compaction), pruning emptied entry lists so negotiation-heavy
+        epochs do not accumulate dead keys."""
+        halo_keys, tail_idxs = self._net_keys.pop(net_id, ((), ()))
+        halo_map = self._halo
+        for key in halo_keys:
+            entries = halo_map.get(key)
             if not entries:
                 continue
             entries[:] = [e for e in entries if e[0] != net_id]
+            if not entries:
+                del halo_map[key]
+        tail_map = self._tail
+        for i in tail_idxs:
+            entries = tail_map.get(i)
+            if not entries:
+                continue
+            entries[:] = [e for e in entries if e[0] != net_id]
+            if not entries:
+                del tail_map[i]
 
     def clear_reservations(self) -> None:
         """Drop all reservations (a fresh negotiation round); static
         obstacles stay."""
         self._halo.clear()
+        self._tail.clear()
+        self._cell_last.clear()
         self._net_keys.clear()
+
+    def reservation_footprint(self) -> int:
+        """Number of live reservation keys currently held — the
+        memory-leak regression tests assert this returns to zero after
+        every reservation is removed."""
+        return len(self._halo) + len(self._tail)
 
     def reserved_blocked(self, cell: Point, step: int, net: Net) -> bool:
         """True if another droplet's halo covers (*cell*, *step*) for
         this net, honoring merge/split exemptions."""
-        entries = self._halo.get(step, {}).get(cell)
-        if not entries:
+        x, y = cell
+        if not (1 <= x <= self.width and 1 <= y <= self.height):
             return False
-        for net_id, producer, consumer in entries:
-            if net_id == net.net_id:
-                continue
-            if (
-                consumer is not None
-                and consumer == net.consumer
-                and self.in_region(consumer, cell)
-            ):
-                continue
-            if (
-                producer is not None
-                and producer == net.producer
-                and self.in_region(producer, cell)
-            ):
-                continue
-            return True
+        idx = (y - 1) * self.width + (x - 1)
+        net_id, producer, consumer = net.net_id, net.producer, net.consumer
+        entries = self._halo.get(step * self.area + idx)
+        if entries:
+            for eid, ep, ec in entries:
+                if eid == net_id:
+                    continue
+                if ec is not None and ec == consumer and self.in_region(ec, cell):
+                    continue
+                if ep is not None and ep == producer and self.in_region(ep, cell):
+                    continue
+                return True
+        tails = self._tail.get(idx)
+        if tails:
+            for eid, ep, ec, from_step in tails:
+                if from_step > step or eid == net_id:
+                    continue
+                if ec is not None and ec == consumer and self.in_region(ec, cell):
+                    continue
+                if ep is not None and ep == producer and self.in_region(ep, cell):
+                    continue
+                return True
         return False
 
     def blocked(self, cell: Point, step: int, net: Net) -> bool:
