@@ -50,9 +50,17 @@ from repro.pipeline import (
     Pipeline,
     PortfolioResult,
     PortfolioSpec,
+    RecoveryStage,
     SynthesisContext,
     build_default_pipeline,
     run_portfolio,
+)
+from repro.recovery import (
+    MonteCarloRecoverySweep,
+    OnlineRecoveryEngine,
+    RecoveryOutcome,
+    RecoverySweepReport,
+    SimCheckpoint,
 )
 from repro.placement.annealer import AnnealingParams, SimulatedAnnealing
 from repro.placement.cost import AreaCost, FaultAwareCost
@@ -109,8 +117,10 @@ __all__ = [
     "ModuleKind",
     "ModuleLibrary",
     "ModuleSpec",
+    "MonteCarloRecoverySweep",
     "CrossCheckTimeGrid",
     "Net",
+    "OnlineRecoveryEngine",
     "OccupancyGrid",
     "Operation",
     "OperationType",
@@ -130,6 +140,9 @@ __all__ = [
     "ReferenceTimeGrid",
     "ReconfigurationError",
     "ReconfigurationPlan",
+    "RecoveryOutcome",
+    "RecoveryStage",
+    "RecoverySweepReport",
     "Rect",
     "ReproError",
     "ResourceBinder",
@@ -141,6 +154,7 @@ __all__ = [
     "Schedule",
     "ScheduleError",
     "SequencingGraph",
+    "SimCheckpoint",
     "SimulatedAnnealing",
     "SimulatedAnnealingPlacer",
     "SimulationError",

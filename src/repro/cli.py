@@ -13,6 +13,9 @@ Eight commands cover the library's day-to-day uses without writing code:
   ``--jobs``), winner selected by ``--objective``.
 * ``batch`` — sweep an (assay x fault pattern) scenario grid through
   the staged pipeline; ``--json`` emits the machine-readable report.
+* ``recover`` — inject a mid-assay fault and recover online: checkpoint
+  the live state, re-place the pending modules, re-route the suffix,
+  resume; ``--sweep`` fans the Monte-Carlo recovery grid instead.
 * ``sweep`` — the Table 2 beta sweep.
 * ``experiments`` — the full paper-vs-measured report.
 * ``explore`` — architectural design-space exploration (binding
@@ -274,6 +277,137 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok_count == len(report.records) else 1
 
 
+def _recovery_timeline(outcome) -> str:
+    """Before/after ASCII timeline of one recovery: the nominal run, the
+    fault instant, and the recovered run with its re-synthesized tail."""
+    width = 50
+    nominal = outcome.nominal_makespan_s
+    recovered = max(outcome.recovered_makespan_s, nominal) or 1.0
+    scale = width / recovered
+
+    def bar(upto: float, fill: str) -> str:
+        return fill * max(0, round(upto * scale))
+
+    fault_at = round(outcome.fault_time_s * scale)
+    nominal_bar = bar(nominal, "=")
+    before = nominal_bar[:fault_at] + "x" + nominal_bar[fault_at + 1 :]
+    prefix = bar(outcome.fault_time_s, "=")
+    tail_len = max(0, round(outcome.recovered_makespan_s * scale) - len(prefix) - 1)
+    after = prefix + "x" + "~" * tail_len
+    return "\n".join(
+        [
+            f"  nominal   |{before}| {nominal:g} s",
+            f"  recovered |{after}| {outcome.recovered_makespan_s:g} s  "
+            f"(x = fault at t={outcome.fault_time_s:g} s, ~ = re-synthesized tail)",
+        ]
+    )
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.placement.annealer import AnnealingParams
+    from repro.recovery import MonteCarloRecoverySweep, OnlineRecoveryEngine
+    from repro.recovery.engine import FAULT_TARGETS, pick_fault_cell
+    from repro.synthesis.flow import SynthesisFlow
+    from repro.util.errors import RecoveryError, ReproError
+
+    protocols = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
+    if args.target is not None and args.target not in FAULT_TARGETS:
+        raise SystemExit(
+            f"recover: unknown --target {args.target!r}; choose from {FAULT_TARGETS}"
+        )
+    if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
+        # A fraction >= 1 checkpoints after the assay finished: nothing
+        # is pending, so "recovery" would succeed vacuously.
+        raise SystemExit(
+            f"recover: --fault-time must be in [0, 1), got {args.fault_time}"
+        )
+
+    if args.sweep:
+        if args.cell is not None:
+            raise SystemExit(
+                "recover: --cell pins one explicit fault; it cannot be "
+                "combined with --sweep (use --target/--fault-time to "
+                "narrow the grid instead)"
+            )
+        try:
+            sweep = MonteCarloRecoverySweep(
+                assays=protocols,
+                time_fractions=(
+                    (args.fault_time,) if args.fault_time is not None
+                    else (0.25, 0.5, 0.75)
+                ),
+                targets=(
+                    (args.target,) if args.target is not None
+                    else ("pending-module", "street")
+                ),
+                annealing=_params(args.fast),
+                recovery_annealing=(
+                    AnnealingParams.fast() if args.fast
+                    else AnnealingParams.low_temperature()
+                ),
+                seed=args.seed,
+            )
+            report = sweep.run(jobs=args.jobs)
+        except (RecoveryError, ValueError) as exc:
+            raise SystemExit(f"recover: {exc}") from None
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.table_text())
+            print()
+            print(report.summary())
+        return 0 if report.recovered_count == len(report.records) else 1
+
+    fault_fraction = args.fault_time if args.fault_time is not None else 0.5
+    target = args.target if args.target is not None else "pending-module"
+    engine = OnlineRecoveryEngine(
+        annealing=(
+            AnnealingParams.fast() if args.fast
+            else AnnealingParams.low_temperature()
+        )
+    )
+    outcomes = {}
+    exit_code = 0
+    for name in protocols:
+        graph, binding = PROTOCOLS[name]()
+        flow = SynthesisFlow(
+            placer=_placer(args),
+            max_concurrent_ops=args.max_concurrent,
+            route=True,
+        )
+        try:
+            result = flow.run(graph, explicit_binding=binding)
+            fault_time = fault_fraction * result.schedule.makespan
+            checkpoint = engine.checkpoint_of(result, fault_time)
+            if args.cell is not None:
+                cell = tuple(args.cell)
+            else:
+                cell = pick_fault_cell(
+                    result, checkpoint, target, rng=args.seed
+                )
+            outcome = engine.recover(
+                result, [cell], fault_time, seed=args.seed, checkpoint=checkpoint
+            )
+        except ReproError as exc:
+            print(f"{name}: recovery errored: {type(exc).__name__}: {exc}")
+            exit_code = 1
+            continue
+        outcomes[name] = outcome
+        if not args.json:
+            print(f"--- {name} ---")
+            print(_recovery_timeline(outcome))
+            print(outcome.summary())
+            print()
+        if not outcome.recovered:
+            exit_code = 1
+    if args.json:
+        print(json.dumps({n: o.to_dict() for n, o in outcomes.items()}, indent=2))
+    elif outcomes:
+        recovered = sum(1 for o in outcomes.values() if o.recovered)
+        print(f"{recovered}/{len(outcomes)} assays recovered")
+    return exit_code
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_beta_sweep
 
@@ -420,6 +554,46 @@ def build_parser() -> argparse.ArgumentParser:
             help="emit the machine-readable report as JSON",
         )
 
+    recover = sub.add_parser(
+        "recover",
+        help="inject a mid-assay fault and recover online "
+             "(checkpoint + incremental re-synthesis + resume)",
+    )
+    recover.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS) + ["all"], default="all",
+        help="assay to recover (default: every bundled assay)",
+    )
+    recover.add_argument(
+        "--fault-time", type=float, default=None, metavar="FRACTION",
+        help="fault arrival as a fraction of the nominal makespan [0, 1) "
+             "(default 0.5; with --sweep, narrows the arrival grid)",
+    )
+    recover.add_argument(
+        "--target", type=str, default=None,
+        help="fault-cell kind: pending-module, in-flight-module, center, "
+             "street (default pending-module; with --sweep, narrows the "
+             "pattern grid)",
+    )
+    recover.add_argument(
+        "--cell", nargs=2, type=int, metavar=("X", "Y"), default=None,
+        help="explicit fault cell in placement coordinates (overrides --target)",
+    )
+    recover.add_argument(
+        "--sweep", action="store_true",
+        help="run the Monte-Carlo recovery sweep "
+             "(assay x fault-arrival x fault-pattern) instead of one demo fault",
+    )
+    recover.add_argument("--max-concurrent", type=int, default=3)
+    recover.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --sweep (1 = serial)",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report as JSON",
+    )
+    recover.set_defaults(func=cmd_recover)
+
     sweep = sub.add_parser("sweep", help="Table 2 beta sweep")
     sweep.set_defaults(func=cmd_sweep)
 
@@ -435,7 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
     explore.set_defaults(func=cmd_explore)
 
-    for p in (flow, place, route, portfolio, batch, sweep, exps, explore):
+    for p in (flow, place, route, portfolio, batch, recover, sweep, exps, explore):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument(
             "--fast",

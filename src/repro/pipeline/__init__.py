@@ -41,6 +41,7 @@ from repro.pipeline.portfolio import (
 from repro.pipeline.stages import (
     BindStage,
     PlaceStage,
+    RecoveryStage,
     RouteStage,
     ScheduleStage,
     SimVerifyStage,
@@ -59,6 +60,7 @@ __all__ = [
     "PlaceStage",
     "PortfolioResult",
     "PortfolioSpec",
+    "RecoveryStage",
     "RouteStage",
     "ScenarioRecord",
     "ScheduleStage",

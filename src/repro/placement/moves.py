@@ -23,6 +23,7 @@ same trajectory for the same seed.
 from __future__ import annotations
 
 import random
+from collections.abc import Collection
 
 from repro.placement.incremental import Move, ModuleUpdate, apply_move
 from repro.placement.model import PlacedModule, Placement
@@ -44,6 +45,7 @@ class MoveGenerator:
         p_rotate: float = 0.5,
         single_only: bool = False,
         seed: int | random.Random | None = None,
+        movable: Collection[str] | None = None,
     ) -> None:
         if not 0.0 <= p_single <= 1.0:
             raise ValueError(f"p_single must be in [0, 1], got {p_single}")
@@ -54,22 +56,36 @@ class MoveGenerator:
         self.p_rotate = p_rotate
         #: LTSA mode (paper Section 6.1): pair interchanges disabled.
         self.single_only = single_only
+        #: When set, only these op ids are ever touched by a move — the
+        #: online-recovery warm restart anneals the not-yet-started
+        #: modules around frozen in-flight ones. ``None`` (default)
+        #: leaves every module movable and consumes the RNG stream
+        #: identically to the historical generator.
+        self.movable = None if movable is None else frozenset(movable)
         self._rng = ensure_rng(seed)
 
     # -- public API -----------------------------------------------------------------
 
     def propose_move(self, placement: Placement, temperature: float) -> Move:
         """Return a :class:`Move` one step away from *placement*."""
-        if len(placement) == 0:
-            raise ValueError("cannot propose moves on an empty placement")
+        candidates = self._candidates(placement)
+        if not candidates:
+            raise ValueError("cannot propose moves: no movable modules")
         use_single = (
             self.single_only
-            or len(placement) < 2
+            or len(candidates) < 2
             or self._rng.random() < self.p_single
         )
         if use_single:
-            return self._displace(placement, temperature)
-        return self._interchange(placement)
+            return self._displace(placement, candidates, temperature)
+        return self._interchange(placement, candidates)
+
+    def _candidates(self, placement: Placement) -> list[PlacedModule]:
+        """The modules a move may touch, in the placement's stable order."""
+        modules = placement.modules()
+        if self.movable is None:
+            return modules
+        return [pm for pm in modules if pm.op_id in self.movable]
 
     def propose(self, placement: Placement, temperature: float) -> Placement:
         """Return a new placement one move away from *placement*."""
@@ -92,9 +108,11 @@ class MoveGenerator:
         ny = _clamp(pm.y + self._rng.randint(-span, span), 1, max_y)
         return nx, ny
 
-    def _displace(self, placement: Placement, temperature: float) -> Move:
+    def _displace(
+        self, placement: Placement, candidates: list[PlacedModule], temperature: float
+    ) -> Move:
         """Move types (i) and (ii)."""
-        pm = self._rng.choice(placement.modules())
+        pm = self._rng.choice(candidates)
         rotated = pm.rotated
         if (
             not pm.spec.is_square
@@ -106,9 +124,11 @@ class MoveGenerator:
         nx, ny = self._random_origin_near(placement, pm, rotated, span)
         return Move(updates=(ModuleUpdate(pm.op_id, nx, ny, rotated),))
 
-    def _interchange(self, placement: Placement) -> Move:
+    def _interchange(
+        self, placement: Placement, candidates: list[PlacedModule]
+    ) -> Move:
         """Move types (iii) and (iv): swap two modules' origins."""
-        a, b = self._rng.sample(placement.modules(), 2)
+        a, b = self._rng.sample(candidates, 2)
         rot_a, rot_b = a.rotated, b.rotated
         if self._rng.random() < self.p_rotate:
             # Type (iv): at least one of the pair changes orientation.

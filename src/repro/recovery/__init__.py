@@ -1,0 +1,43 @@
+"""Online fault recovery: mid-assay checkpointing, incremental
+re-synthesis of the not-yet-started suffix, and Monte-Carlo recovery
+sweeps.
+
+This package composes the prior subsystems into the paper's actual
+story — a chip that keeps executing after a cell dies mid-run:
+
+* :class:`OnlineRecoveryEngine` — checkpoint the live state, warm-start
+  re-place the pending modules around the frozen in-flight ones,
+  re-route only the suffix epochs against the new fault mask, and
+  resume the simulator.
+* :class:`MonteCarloRecoverySweep` — fan (assay x fault-arrival x
+  fault-pattern) scenarios over worker processes and report
+  recovery-success rate, makespan penalty, and re-synthesis latency.
+* :class:`~repro.sim.engine.SimCheckpoint` — the simulator-level live
+  snapshot (re-exported from :mod:`repro.sim.engine`).
+"""
+
+from repro.recovery.engine import (
+    FAULT_TARGETS,
+    FaultAvoidanceCost,
+    OnlineRecoveryEngine,
+    RecoveryOutcome,
+    pick_fault_cell,
+)
+from repro.recovery.sweep import (
+    MonteCarloRecoverySweep,
+    RecoveryRecord,
+    RecoverySweepReport,
+)
+from repro.sim.engine import SimCheckpoint
+
+__all__ = [
+    "FAULT_TARGETS",
+    "FaultAvoidanceCost",
+    "MonteCarloRecoverySweep",
+    "OnlineRecoveryEngine",
+    "RecoveryOutcome",
+    "RecoveryRecord",
+    "RecoverySweepReport",
+    "SimCheckpoint",
+    "pick_fault_cell",
+]

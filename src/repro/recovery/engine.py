@@ -1,0 +1,687 @@
+"""Online fault recovery: checkpoint -> incremental re-synthesis -> resume.
+
+The paper's central claim is that a DMFB keeps executing an assay after
+cells fail, by dynamically reconfiguring the remaining operations
+around the new fault map. The offline engines assume faults are known
+before time 0; this engine handles the *online* case — a cell dies at
+an arbitrary instant mid-assay:
+
+1. **Checkpoint.** :meth:`BiochipSimulator.checkpoint` captures the
+   live state at the fault instant: completed operations (their cells
+   are already consumed), in-flight operations (droplets physically
+   inside their modules — those modules are *frozen*), pending
+   operations (not started — the re-synthesizable suffix), and the
+   parked-product map.
+2. **Incremental re-placement.** Pending modules directly hit by the
+   fault are rescued first with the paper's MER relocation (a
+   deterministic legality pass), then *all* pending modules are
+   re-optimized by a warm-started low-temperature anneal on the
+   :class:`~repro.placement.incremental.IncrementalCostEvaluator`:
+   the nominal placement is the initial state, only pending modules
+   are movable (:class:`~repro.placement.moves.MoveGenerator`'s
+   ``movable`` filter), and a fault-overlap penalty keeps them off the
+   dead cells. Frozen modules and the core-area dimensions never
+   change, which is what keeps the already-executed routing prefix
+   valid (see DESIGN.md, "checkpoint invariants").
+3. **Suffix re-route.** Only the routing epochs released *after* the
+   fault instant are re-synthesized, on the packed
+   :class:`~repro.routing.timegrid.TimeGrid` against the updated fault
+   mask, with their step counters continuing the kept prefix. Prefix
+   epochs are reused verbatim — their obstacle context derives solely
+   from frozen modules.
+4. **Resume.** A simulator carrying the recovered placement and the
+   merged plan replays the assay with the fault injected at its real
+   arrival time; ``plan_covers_faults`` tells the replay layer the
+   plan already knows the fault, so suffix transports keep replaying
+   instead of falling back to ad-hoc A*.
+
+An unrecoverable fault (no fault-free site for a hit module, an
+unroutable suffix net, a failed replay) produces an explicit
+infeasibility outcome, never a silent partial answer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.fault.reconfigure import PartialReconfigurer
+from repro.geometry import Point, Rect
+from repro.placement.annealer import AnnealingParams, SimulatedAnnealing
+from repro.placement.cost import AreaCost
+from repro.placement.incremental import IncrementalCostEvaluator
+from repro.placement.model import Placement
+from repro.placement.moves import MoveGenerator
+from repro.routing.plan import RoutingPlan
+from repro.routing.synthesis import RoutingSynthesizer
+from repro.sim.engine import BiochipSimulator, SimCheckpoint, SimulationReport
+from repro.synthesis.flow import SynthesisResult
+from repro.util.errors import (
+    ReconfigurationError,
+    RecoveryError,
+    RoutingError,
+    SimulationError,
+)
+from repro.util.rng import ensure_rng, spawn_rng
+
+#: Fault-target kinds :func:`pick_fault_cell` understands.
+FAULT_TARGETS = ("pending-module", "in-flight-module", "center", "street")
+
+
+class FaultAvoidanceCost(AreaCost):
+    """Warm-restart objective: area + fault penalty + anchor term.
+
+    Three departures from the offline :class:`AreaCost`:
+
+    * a per-cell penalty (``fault_weight``) for any module footprint
+      covering a dead cell — large enough that escaping a fault
+      dominates everything else;
+    * an *anchor* term pulling each movable module toward its nominal
+      origin — online recovery wants the **minimal perturbation** of
+      the already-synthesized layout (shorter droplet migrations, a
+      routing suffix closest to the verified nominal plan), not a fresh
+      global optimum;
+    * the offline corner-pull is disabled (it compacts modules into
+      walls, exactly what a mid-assay array full of parked droplets
+      cannot afford).
+
+    Every term has an exact O(#faults + #updates) delta, so the
+    warm-restart anneal keeps the full incremental delta-cost path.
+    Frozen modules contribute a constant offset the deltas never see.
+    """
+
+    def __init__(
+        self,
+        faulty_cells,
+        anchors: dict[str, tuple[int, int]] | None = None,
+        fault_weight: float = 1000.0,
+        anchor_weight: float = 0.5,
+        **kwargs,
+    ) -> None:
+        # The chip is already fabricated mid-assay: shrinking the
+        # bounding array buys nothing and packs modules into walls, so
+        # the area term is off by default (alpha=0), as is the
+        # corner-pull. What remains is overlap + fault + anchor — the
+        # minimal-perturbation objective.
+        kwargs.setdefault("pull_weight", 0.0)
+        kwargs.setdefault("alpha", 0.0)
+        super().__init__(**kwargs)
+        self.faulty = tuple(Point(*c) for c in faulty_cells)
+        if fault_weight <= 0:
+            raise ValueError(f"fault_weight must be positive, got {fault_weight}")
+        self.fault_weight = fault_weight
+        self.anchors = dict(anchors or {})
+        self.anchor_weight = anchor_weight
+
+    def _covered(self, footprint: Rect) -> int:
+        return sum(1 for c in self.faulty if footprint.contains_point(c))
+
+    def _anchor(self, op_id: str, x: int, y: int) -> int:
+        a = self.anchors.get(op_id)
+        return 0 if a is None else abs(x - a[0]) + abs(y - a[1])
+
+    def _extra(self, placement: Placement) -> float:
+        extra = self.fault_weight * sum(
+            self._covered(pm.footprint) for pm in placement
+        )
+        if self.anchor_weight:
+            extra += self.anchor_weight * sum(
+                self._anchor(pm.op_id, pm.x, pm.y) for pm in placement
+            )
+        return extra
+
+    def __call__(self, placement: Placement) -> float:
+        return super().__call__(placement) + self._extra(placement)
+
+    def current(self, evaluator: IncrementalCostEvaluator) -> float:
+        return super().current(evaluator) + self._extra(evaluator.placement)
+
+    def delta(self, evaluator: IncrementalCostEvaluator, move) -> float:
+        d = super().delta(evaluator, move)
+        for up in move.updates:
+            pm = evaluator.placement.get(up.op_id)
+            new_fp = pm.spec.footprint_at(up.x, up.y, up.rotated)
+            d += self.fault_weight * (self._covered(new_fp) - self._covered(pm.footprint))
+            if self.anchor_weight:
+                d += self.anchor_weight * (
+                    self._anchor(up.op_id, up.x, up.y)
+                    - self._anchor(up.op_id, pm.x, pm.y)
+                )
+        return d
+
+
+@dataclass
+class RecoveryOutcome:
+    """Everything one online-recovery attempt produced.
+
+    ``recovered`` is the headline: the resumed replay completed *and*
+    the merged routing plan routed every suffix net and passed the
+    independent verifier. Anything less carries an explicit ``reason``.
+    """
+
+    fault_time_s: float
+    fault_cells: tuple[Point, ...]
+    recovered: bool
+    reason: str | None
+    checkpoint: SimCheckpoint
+    #: Pending modules the warm-restart anneal was allowed to move.
+    movable_ops: tuple[str, ...]
+    #: Subset rescued by the deterministic MER relocation pre-pass.
+    relocated_ops: tuple[str, ...]
+    #: Movable modules whose origin actually changed vs the nominal plan.
+    moved_ops: tuple[str, ...] = ()
+    nominal_makespan_s: float = 0.0
+    recovered_makespan_s: float = 0.0
+    #: Wall-clock re-synthesis latencies (the online hot path).
+    replace_s: float = 0.0
+    reroute_s: float = 0.0
+    recovery_s: float = 0.0
+    #: Prefix epochs reused verbatim / suffix epochs re-synthesized.
+    reused_epochs: int = 0
+    suffix_epochs: int = 0
+    rerouted_nets: int = 0
+    plan_verified: bool = False
+    placement: Placement | None = None
+    routing_plan: RoutingPlan | None = None
+    sim_report: SimulationReport | None = None
+
+    @property
+    def makespan_penalty_s(self) -> float:
+        """Extra completion time the online fault cost the assay."""
+        return self.recovered_makespan_s - self.nominal_makespan_s
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (placement/plan/report condensed)."""
+        return {
+            "fault_time_s": self.fault_time_s,
+            "fault_cells": [[p.x, p.y] for p in self.fault_cells],
+            "recovered": self.recovered,
+            "reason": self.reason,
+            "checkpoint": self.checkpoint.to_dict(),
+            "movable_ops": list(self.movable_ops),
+            "relocated_ops": list(self.relocated_ops),
+            "moved_ops": list(self.moved_ops),
+            "nominal_makespan_s": self.nominal_makespan_s,
+            "recovered_makespan_s": self.recovered_makespan_s,
+            "makespan_penalty_s": self.makespan_penalty_s,
+            "replace_s": self.replace_s,
+            "reroute_s": self.reroute_s,
+            "recovery_s": self.recovery_s,
+            "reused_epochs": self.reused_epochs,
+            "suffix_epochs": self.suffix_epochs,
+            "rerouted_nets": self.rerouted_nets,
+            "plan_verified": self.plan_verified,
+            "sim": self.sim_report.to_dict() if self.sim_report is not None else None,
+        }
+
+    def summary(self) -> str:
+        status = "RECOVERED" if self.recovered else f"NOT RECOVERED ({self.reason})"
+        return (
+            f"{status}: fault at t={self.fault_time_s:g}s on "
+            f"{', '.join(str(p) for p in self.fault_cells)}; "
+            f"{len(self.checkpoint.completed)} ops done, "
+            f"{len(self.checkpoint.in_flight)} frozen in flight, "
+            f"{len(self.movable_ops)} re-placed "
+            f"({len(self.moved_ops)} moved, {len(self.relocated_ops)} MER-rescued); "
+            f"{self.rerouted_nets} nets re-routed in {self.suffix_epochs} suffix "
+            f"epochs ({self.reused_epochs} prefix epochs reused); "
+            f"makespan {self.nominal_makespan_s:g}s -> {self.recovered_makespan_s:g}s "
+            f"(penalty {self.makespan_penalty_s:g}s); "
+            f"re-synthesis {self.recovery_s * 1000:.1f} ms "
+            f"(place {self.replace_s * 1000:.1f} + route {self.reroute_s * 1000:.1f})"
+        )
+
+
+def pick_fault_cell(
+    result: SynthesisResult,
+    checkpoint: SimCheckpoint,
+    target: str = "pending-module",
+    rng: random.Random | int | None = None,
+) -> Point:
+    """A fault cell (placement coordinates) realizing a named scenario.
+
+    * ``pending-module`` — a functional cell of a not-yet-started
+      module: the scenario the recovery engine exists for.
+    * ``in-flight-module`` — a cell of a running module (exercises the
+      simulator's partial-reconfiguration path during resume).
+    * ``center`` — the array's center cell.
+    * ``street`` — a routing-lane cell under no module footprint.
+
+    Falls back toward ``center`` when the requested population is empty
+    (e.g. no pending module remains at a late fault time). Choices are
+    drawn from *rng*, so a seeded generator gives a deterministic
+    scenario.
+    """
+    if target not in FAULT_TARGETS:
+        raise RecoveryError(
+            f"unknown fault target {target!r}; choose from {FAULT_TARGETS}"
+        )
+    rng = ensure_rng(rng)
+    placement = result.placement_result.placement
+    width, height = placement.array_dims()
+
+    def module_cell(
+        ops: tuple[str, ...], avoid: tuple[str, ...] = ()
+    ) -> Point | None:
+        """A functional cell of a random module of *ops*, preferring
+        cells not also covered by any *avoid* module's footprint (a
+        pending-module fault that also lands under a frozen in-flight
+        module forces a mid-operation relocation — a different, harder
+        scenario than the one requested). Modules whose every cell is
+        blocked are skipped while a cleaner candidate exists."""
+        placed = sorted(op for op in ops if op in placement)
+        if not placed:
+            return None
+        blocked = {
+            c
+            for op in avoid
+            if op in placement
+            for c in placement.get(op).footprint.cells()
+        }
+        order = list(placed)
+        rng.shuffle(order)
+        fallback: Point | None = None
+        for op in order:
+            cells = sorted(placement.get(op).functional_region.cells())
+            clear = [c for c in cells if c not in blocked]
+            if clear:
+                return clear[rng.randrange(len(clear))]
+            if fallback is None:
+                fallback = cells[rng.randrange(len(cells))]
+        return fallback
+
+    if target == "pending-module":
+        cell = module_cell(checkpoint.pending, avoid=checkpoint.in_flight)
+        if cell is not None:
+            return cell
+    if target == "in-flight-module":
+        cell = module_cell(checkpoint.in_flight)
+        if cell is not None:
+            return cell
+    if target == "street":
+        covered = {c for pm in placement for c in pm.footprint.cells()}
+        streets = sorted(
+            Point(x, y)
+            for x in range(1, width + 1)
+            for y in range(1, height + 1)
+            if Point(x, y) not in covered
+        )
+        if streets:
+            return streets[rng.randrange(len(streets))]
+    return Point((width + 1) // 2, (height + 1) // 2)
+
+
+class OnlineRecoveryEngine:
+    """Recovers a running assay from a mid-execution cell failure."""
+
+    def __init__(
+        self,
+        annealing: AnnealingParams | None = None,
+        margin: int = 2,
+        fault_weight: float = 1000.0,
+        core_slack: int = 2,
+        reconfigurer: PartialReconfigurer | None = None,
+        synthesizer: RoutingSynthesizer | None = None,
+    ) -> None:
+        #: Warm-restart schedule: start cool, move little — the nominal
+        #: placement is already near-optimal and only the fault
+        #: neighborhood needs rework.
+        self.annealing = (
+            annealing if annealing is not None else AnnealingParams.low_temperature()
+        )
+        self.margin = margin
+        self.fault_weight = fault_weight
+        #: Extra core cells (per dimension) recovery may claim beyond
+        #: the nominal bounding array — the paper's *space redundancy*:
+        #: the fabricated chip has spare electrodes the nominal plan
+        #: never used. Module coordinates are never shifted, so the
+        #: kept routing prefix stays in the same frame.
+        self.core_slack = core_slack
+        self.reconfigurer = (
+            reconfigurer if reconfigurer is not None else PartialReconfigurer()
+        )
+        self.synthesizer = (
+            synthesizer if synthesizer is not None else RoutingSynthesizer(margin=margin)
+        )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def simulator_for(self, result: SynthesisResult) -> BiochipSimulator:
+        """The nominal simulator recovery checkpoints against."""
+        return BiochipSimulator(
+            result.graph,
+            result.schedule,
+            result.binding,
+            result.placement_result.placement,
+            margin=self.margin,
+            strict=False,
+            routing_plan=result.routing_plan,
+        )
+
+    def checkpoint_of(
+        self,
+        result: SynthesisResult,
+        fault_time_s: float,
+        known_faults=(),
+    ) -> SimCheckpoint:
+        """Checkpoint the nominal execution at *fault_time_s*.
+
+        *known_faults* are design-time defects (placement coordinates)
+        the nominal synthesis already routed around; they fire at time
+        zero in the checkpointed run, exactly as the pipeline's verify
+        stage injects them.
+        """
+        if fault_time_s < 0:
+            raise RecoveryError(
+                f"fault time must be >= 0, got {fault_time_s:g}"
+            )
+        sim = self.simulator_for(result)
+        return sim.checkpoint(
+            fault_time_s, faults=[(0.0, sim.sim_cell(Point(*f))) for f in known_faults]
+        )
+
+    # -- the online hot path --------------------------------------------------
+
+    def recover(
+        self,
+        result: SynthesisResult,
+        fault_cells,
+        fault_time_s: float,
+        seed: int | random.Random | None = None,
+        checkpoint: SimCheckpoint | None = None,
+        known_faults=(),
+    ) -> RecoveryOutcome:
+        """Run the full checkpoint -> re-synthesize -> resume loop.
+
+        *fault_cells* are in placement coordinates (the frame of
+        ``result.placement_result.placement``); *checkpoint* may be
+        passed in when the caller already computed it (the sweep reuses
+        one checkpoint across fault patterns at the same arrival time).
+        *known_faults* are design-time defects the nominal plan already
+        avoids; the re-synthesized suffix keeps avoiding them too.
+        """
+        faults = tuple(Point(*c) for c in fault_cells)
+        known = tuple(Point(*c) for c in known_faults)
+        if not faults:
+            raise RecoveryError("recovery needs at least one fault cell")
+        if checkpoint is None:
+            try:
+                checkpoint = self.checkpoint_of(result, fault_time_s, known)
+            except SimulationError as exc:
+                raise RecoveryError(
+                    f"nominal execution fails before any fault: {exc}"
+                ) from exc
+
+        def failed(reason: str, **extra) -> RecoveryOutcome:
+            return RecoveryOutcome(
+                fault_time_s=fault_time_s,
+                fault_cells=faults,
+                recovered=False,
+                reason=reason,
+                checkpoint=checkpoint,
+                movable_ops=movable,
+                relocated_ops=tuple(relocated),
+                nominal_makespan_s=checkpoint.nominal_makespan,
+                recovered_makespan_s=checkpoint.nominal_makespan,
+                replace_s=replace_s,
+                reroute_s=reroute_s,
+                recovery_s=time.perf_counter() - t0,
+                **extra,
+            )
+
+        t0 = time.perf_counter()
+        replace_s = reroute_s = 0.0
+        nominal_placement = result.placement_result.placement
+        movable = tuple(
+            op for op in checkpoint.pending if op in nominal_placement
+        )
+        relocated: list[str] = []
+
+        # -- phase 1: re-place the pending modules ------------------------
+        # Sub-passes: a best-effort MER relocation of directly-hit
+        # modules (single-module legality), then the warm-started anneal
+        # (can shuffle several pending modules jointly when no single-
+        # module site exists), then a final MER retry on the annealed
+        # layout. The working core is the nominal bounding array plus
+        # the space-redundancy slack; coordinates are never shifted.
+        conservative = Placement(
+            nominal_placement.core_width + self.core_slack,
+            nominal_placement.core_height + self.core_slack,
+            modules=nominal_placement,
+            pitch_mm=nominal_placement.pitch_mm,
+        )
+        all_faults = faults + tuple(f for f in known if f not in faults)
+        relocated, _ = self._rescue_hit_modules(conservative, movable, all_faults)
+        annealed = conservative
+        if movable:
+            annealed = self._warm_anneal(
+                conservative, movable, all_faults, nominal_placement, seed
+            )
+            still_hit, _ = self._rescue_hit_modules(annealed, movable, all_faults)
+            relocated = sorted(set(relocated) | set(still_hit))
+        replace_s = time.perf_counter() - t0
+
+        # Two candidate layouts, tried in order: the annealed one
+        # (optimized, minimal-perturbation), then the conservative
+        # MER-only one as a fallback when the annealed layout's replay
+        # or plan fails — an online controller prefers a recovered
+        # assay over an optimized-but-unroutable layout.
+        candidates = [annealed]
+        if annealed is not conservative and any(
+            annealed.get(op) != conservative.get(op) for op in movable
+        ):
+            candidates.append(conservative)
+
+        outcome: RecoveryOutcome | None = None
+        for working in candidates:
+            if not working.is_feasible():
+                attempt = failed("re-placement left overlapping modules")
+            else:
+                attempt = self._attempt(
+                    result, checkpoint, working, nominal_placement, movable,
+                    relocated, faults, known, all_faults, fault_time_s,
+                    replace_s, t0,
+                )
+                if not attempt.recovered:
+                    # A pending module the placement layer could not pull
+                    # off the dead cell was delegated to the simulator's
+                    # own partial reconfiguration (it has the padded
+                    # boundary area to work with); if the replay still
+                    # failed, name the stuck module in the report.
+                    offending = [
+                        op
+                        for op in movable
+                        if any(
+                            working.get(op).footprint.contains_point(f)
+                            for f in all_faults
+                        )
+                    ]
+                    if offending:
+                        attempt.reason = (
+                            "no fault-free placement for pending module(s) "
+                            f"{', '.join(offending)}; {attempt.reason}"
+                        )
+            if outcome is None:
+                outcome = attempt
+            if attempt.recovered:
+                return attempt
+        assert outcome is not None
+        return outcome
+
+    def _attempt(
+        self,
+        result: SynthesisResult,
+        checkpoint: SimCheckpoint,
+        working: Placement,
+        nominal_placement: Placement,
+        movable: tuple[str, ...],
+        relocated,
+        faults: tuple[Point, ...],
+        known: tuple[Point, ...],
+        all_faults: tuple[Point, ...],
+        fault_time_s: float,
+        replace_s: float,
+        t0: float,
+    ) -> RecoveryOutcome:
+        """Suffix re-route + resumed replay for one candidate layout."""
+        # -- phase 2: re-route the suffix ----------------------------------
+        # Strictly-before split: an epoch released exactly at the fault
+        # instant executes against the already-dead cell, so it belongs
+        # to the re-routed suffix, never the kept prefix.
+        t1 = time.perf_counter()
+        prefix_epochs = tuple(
+            e
+            for e in (result.routing_plan.epochs if result.routing_plan else ())
+            if e.time_s < fault_time_s
+        )
+        step_offset = sum(e.makespan_steps for e in prefix_epochs)
+        suffix = self.synthesizer.synthesize(
+            result.graph,
+            result.schedule,
+            working,
+            faulty_cells=all_faults,
+            after_time=fault_time_s,
+            step_offset=step_offset,
+        )
+        merged = RoutingPlan(
+            width=suffix.width,
+            height=suffix.height,
+            epochs=prefix_epochs + suffix.epochs,
+            margin=suffix.margin,
+        )
+        reroute_s = time.perf_counter() - t1
+        plan_ok = True
+        plan_reason = None
+        if suffix.failed_count:
+            plan_ok = False
+            plan_reason = (
+                f"{suffix.failed_count} suffix net(s) unroutable around the fault"
+            )
+        else:
+            try:
+                merged.verify()
+            except RoutingError as exc:
+                plan_ok = False
+                plan_reason = f"recovered plan failed verification: {exc}"
+
+        # -- phase 3: resume from the checkpoint ---------------------------
+        sim = BiochipSimulator(
+            result.graph,
+            result.schedule,
+            result.binding,
+            working,
+            margin=self.margin,
+            strict=False,
+            routing_plan=merged,
+            plan_covers_faults=(),
+        )
+        sim_faults = [(0.0, sim.sim_cell(f)) for f in known] + [
+            (fault_time_s, sim.sim_cell(f)) for f in faults
+        ]
+        sim.plan_covers_faults = frozenset(c for _, c in sim_faults)
+        report = sim.run(faults=sim_faults)
+
+        moved = tuple(
+            op
+            for op in movable
+            if (working.get(op).x, working.get(op).y, working.get(op).rotated)
+            != (
+                nominal_placement.get(op).x,
+                nominal_placement.get(op).y,
+                nominal_placement.get(op).rotated,
+            )
+        )
+        recovered = report.completed and plan_ok
+        reason = None
+        if not report.completed:
+            reason = f"resumed replay failed: {report.failure_reason}"
+        elif not plan_ok:
+            reason = plan_reason
+        return RecoveryOutcome(
+            fault_time_s=fault_time_s,
+            fault_cells=faults,
+            recovered=recovered,
+            reason=reason,
+            checkpoint=checkpoint,
+            movable_ops=movable,
+            relocated_ops=tuple(relocated),
+            moved_ops=moved,
+            nominal_makespan_s=checkpoint.nominal_makespan,
+            recovered_makespan_s=report.realized_makespan,
+            replace_s=replace_s,
+            reroute_s=reroute_s,
+            recovery_s=time.perf_counter() - t0,
+            reused_epochs=len(prefix_epochs),
+            suffix_epochs=len(suffix.epochs),
+            rerouted_nets=suffix.routed_count,
+            plan_verified=plan_ok,
+            placement=working,
+            routing_plan=merged,
+            sim_report=report,
+        )
+
+    # -- phase-1 helpers ------------------------------------------------------
+
+    def _rescue_hit_modules(
+        self, working: Placement, movable: tuple[str, ...], faults: tuple[Point, ...]
+    ) -> tuple[list[str], list[str]]:
+        """Best-effort MER relocation of every pending module whose
+        footprint covers a dead cell (mutates *working* in place).
+        Returns ``(relocated, unresolved)`` — a module with no
+        single-module fault-free site is left for the joint anneal."""
+        relocated: list[str] = []
+        unresolved: list[str] = []
+        for op in movable:
+            pm = working.get(op)
+            if not any(pm.footprint.contains_point(f) for f in faults):
+                continue
+            try:
+                working.replace(self.reconfigurer.find_target(working, pm, faults))
+                relocated.append(op)
+            except ReconfigurationError:
+                unresolved.append(op)
+        return relocated, unresolved
+
+    def _warm_anneal(
+        self,
+        working: Placement,
+        movable: tuple[str, ...],
+        faults: tuple[Point, ...],
+        nominal: Placement,
+        seed: int | random.Random | None,
+    ) -> Placement:
+        """Warm-started low-temperature anneal of the pending modules
+        around the frozen ones, anchored to the nominal layout. Falls
+        back to the pre-anneal placement when the anneal's best is
+        worse off (infeasible, or touching a fault the input avoided).
+        """
+        rng = ensure_rng(seed)
+        params = self.annealing
+        window = params.make_window(
+            max_span=max(working.core_width, working.core_height)
+        )
+        mover = MoveGenerator(window=window, movable=movable, seed=spawn_rng(rng))
+        engine = SimulatedAnnealing(params, window=window, seed=rng)
+        cost = FaultAvoidanceCost(
+            faults,
+            anchors={op: (nominal.get(op).x, nominal.get(op).y) for op in movable},
+            fault_weight=self.fault_weight,
+        )
+        evaluator = IncrementalCostEvaluator(working.copy())
+        inner = params.iterations_per_module * len(movable)
+        best, _stats = engine.optimize_incremental(
+            evaluator, cost, mover.propose_move, inner, record_history=False
+        )
+
+        def hits(placement: Placement) -> int:
+            return sum(
+                1
+                for op in movable
+                for f in faults
+                if placement.get(op).footprint.contains_point(f)
+            )
+
+        if not best.is_feasible() or hits(best) > hits(working):
+            return working
+        return best

@@ -1,0 +1,332 @@
+"""Monte-Carlo recovery sweeps: (assay x fault-arrival x fault-pattern).
+
+The sweep answers the paper-level question "how often does online
+recovery save the assay, and what does it cost?" by fanning scenarios
+over a grid: for each bundled assay, for each fault-arrival fraction of
+the nominal makespan, for each fault-target kind, inject one fault and
+drive the :class:`~repro.recovery.engine.OnlineRecoveryEngine`.
+
+Execution mirrors :mod:`repro.pipeline.batch`: one worker unit per
+assay (the nominal synthesis — the fault-independent prefix — is
+computed once and reused by every scenario of that assay, and the
+checkpoint at each arrival time is shared across fault patterns),
+fanned across a ``ProcessPoolExecutor`` with ``jobs > 1``. Per-assay
+and per-scenario seeds are derived up front from the sweep seed, so the
+report is bit-identical for any worker count (property-tested).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.assay.catalog import BUNDLED_ASSAYS, build_assay
+from repro.geometry import Point
+from repro.pipeline.context import SynthesisContext
+from repro.pipeline.pipeline import build_default_pipeline
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.recovery.engine import (
+    FAULT_TARGETS,
+    OnlineRecoveryEngine,
+    pick_fault_cell,
+)
+from repro.util.errors import RecoveryError, ReproError
+from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class _SweepSpec:
+    """Everything a worker needs for one assay's scenario block."""
+
+    assay: str
+    time_fractions: tuple[float, ...]
+    targets: tuple[str, ...]
+    seed: int
+    scenario_seeds: tuple[int, ...]
+    annealing: AnnealingParams | None
+    recovery_annealing: AnnealingParams | None
+    max_concurrent_ops: int | None
+
+
+@dataclass
+class RecoveryRecord:
+    """One sweep cell: an assay under one fault arrival and pattern."""
+
+    assay: str
+    time_fraction: float
+    target: str
+    fault_time_s: float
+    fault_cell: Point | None
+    recovered: bool
+    reason: str | None
+    makespan_penalty_s: float
+    replace_s: float
+    reroute_s: float
+    recovery_s: float
+    rerouted_nets: int
+    reused_epochs: int
+    #: True when the assay's nominal synthesis was reused from a
+    #: sibling scenario rather than recomputed.
+    upstream_reused: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "assay": self.assay,
+            "time_fraction": self.time_fraction,
+            "target": self.target,
+            "fault_time_s": self.fault_time_s,
+            "fault_cell": (
+                [self.fault_cell.x, self.fault_cell.y] if self.fault_cell else None
+            ),
+            "recovered": self.recovered,
+            "reason": self.reason,
+            "makespan_penalty_s": self.makespan_penalty_s,
+            "replace_s": self.replace_s,
+            "reroute_s": self.reroute_s,
+            "recovery_s": self.recovery_s,
+            "rerouted_nets": self.rerouted_nets,
+            "reused_epochs": self.reused_epochs,
+            "upstream_reused": self.upstream_reused,
+        }
+
+
+@dataclass
+class RecoverySweepReport:
+    """Every scenario record of one sweep plus the headline aggregates."""
+
+    seed: int
+    jobs: int
+    wall_s: float = 0.0
+    records: list[RecoveryRecord] = field(default_factory=list)
+
+    @property
+    def recovered_count(self) -> int:
+        return sum(1 for r in self.records if r.recovered)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of scenarios ending in a verified, completed plan."""
+        return self.recovered_count / len(self.records) if self.records else 1.0
+
+    @property
+    def mean_penalty_s(self) -> float:
+        """Mean makespan penalty over the recovered scenarios."""
+        pen = [r.makespan_penalty_s for r in self.records if r.recovered]
+        return sum(pen) / len(pen) if pen else 0.0
+
+    @property
+    def mean_recovery_s(self) -> float:
+        """Mean wall-clock re-synthesis latency per scenario."""
+        lat = [r.recovery_s for r in self.records]
+        return sum(lat) / len(lat) if lat else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "scenario_count": len(self.records),
+            "recovered_count": self.recovered_count,
+            "success_rate": self.success_rate,
+            "mean_makespan_penalty_s": self.mean_penalty_s,
+            "mean_recovery_s": self.mean_recovery_s,
+            "scenarios": [r.to_dict() for r in self.records],
+        }
+
+    def table_text(self) -> str:
+        rows = [
+            (
+                r.assay,
+                f"{r.time_fraction:.0%}",
+                r.target,
+                str(r.fault_cell) if r.fault_cell else "-",
+                "recovered" if r.recovered else f"FAILED ({r.reason})",
+                f"{r.makespan_penalty_s:g}",
+                f"{r.recovery_s * 1000:.1f}",
+                r.rerouted_nets,
+                "yes" if r.upstream_reused else "no",
+            )
+            for r in self.records
+        ]
+        return format_table(
+            ("assay", "arrival", "target", "cell", "outcome", "penalty s",
+             "resynth ms", "nets", "reused"),
+            rows,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.recovered_count}/{len(self.records)} scenarios recovered "
+            f"({self.success_rate:.0%}), mean penalty "
+            f"{self.mean_penalty_s:g} s, mean re-synthesis "
+            f"{self.mean_recovery_s * 1000:.1f} ms "
+            f"(jobs={self.jobs}, {self.wall_s:.1f} s wall)"
+        )
+
+
+def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
+    """One assay's block: synthesize the nominal configuration once,
+    then recover it from every (arrival x target) scenario."""
+    graph, binding = build_assay(spec.assay)
+    rng = ensure_rng(spec.seed)
+    placer = SimulatedAnnealingPlacer(params=spec.annealing, seed=spawn_rng(rng))
+    pipeline = build_default_pipeline(placer=placer, seed=rng,
+                                      max_concurrent_ops=spec.max_concurrent_ops,
+                                      route=True)
+    context = SynthesisContext(graph=graph, explicit_binding=binding)
+    records: list[RecoveryRecord] = []
+    try:
+        pipeline.run(context)
+        result = context.result()
+    except ReproError as exc:
+        reason = f"nominal synthesis failed: {type(exc).__name__}: {exc}"
+        return [
+            RecoveryRecord(
+                assay=spec.assay, time_fraction=f, target=t, fault_time_s=0.0,
+                fault_cell=None, recovered=False, reason=reason,
+                makespan_penalty_s=0.0, replace_s=0.0, reroute_s=0.0,
+                recovery_s=0.0, rerouted_nets=0, reused_epochs=0,
+            )
+            for f in spec.time_fractions
+            for t in spec.targets
+        ]
+
+    engine = OnlineRecoveryEngine(annealing=spec.recovery_annealing)
+    makespan = result.schedule.makespan
+    seeds = iter(spec.scenario_seeds)
+    first = True
+    for fraction in spec.time_fractions:
+        fault_time = fraction * makespan
+        checkpoint = None
+        try:
+            checkpoint = engine.checkpoint_of(result, fault_time)
+        except (RecoveryError, ReproError) as exc:
+            checkpoint_error = f"{type(exc).__name__}: {exc}"
+        for target in spec.targets:
+            scenario_seed = next(seeds)
+            if checkpoint is None:
+                records.append(
+                    RecoveryRecord(
+                        assay=spec.assay, time_fraction=fraction, target=target,
+                        fault_time_s=fault_time, fault_cell=None, recovered=False,
+                        reason=checkpoint_error, makespan_penalty_s=0.0,
+                        replace_s=0.0, reroute_s=0.0, recovery_s=0.0,
+                        rerouted_nets=0, reused_epochs=0, upstream_reused=not first,
+                    )
+                )
+                first = False
+                continue
+            scenario_rng = ensure_rng(scenario_seed)
+            cell = pick_fault_cell(result, checkpoint, target, rng=scenario_rng)
+            outcome = engine.recover(
+                result, [cell], fault_time, seed=scenario_rng, checkpoint=checkpoint
+            )
+            records.append(
+                RecoveryRecord(
+                    assay=spec.assay,
+                    time_fraction=fraction,
+                    target=target,
+                    fault_time_s=fault_time,
+                    fault_cell=cell,
+                    recovered=outcome.recovered,
+                    reason=outcome.reason,
+                    makespan_penalty_s=outcome.makespan_penalty_s,
+                    replace_s=outcome.replace_s,
+                    reroute_s=outcome.reroute_s,
+                    recovery_s=outcome.recovery_s,
+                    rerouted_nets=outcome.rerouted_nets,
+                    reused_epochs=outcome.reused_epochs,
+                    upstream_reused=not first,
+                )
+            )
+            first = False
+    return records
+
+
+class MonteCarloRecoverySweep:
+    """Fans (assay x fault-arrival x fault-pattern) recovery scenarios.
+
+    *assays* lists bundled-assay names (see
+    :mod:`repro.assay.catalog`); arrival times are fractions of each
+    assay's nominal makespan; *targets* are
+    :data:`~repro.recovery.engine.FAULT_TARGETS` kinds.
+    """
+
+    def __init__(
+        self,
+        assays: Sequence[str] = ("pcr", "dilution", "ivd"),
+        time_fractions: Sequence[float] = (0.25, 0.5, 0.75),
+        targets: Sequence[str] = ("pending-module", "street"),
+        annealing: AnnealingParams | None = None,
+        recovery_annealing: AnnealingParams | None = None,
+        max_concurrent_ops: int | None = 3,
+        seed: int = 7,
+    ) -> None:
+        unknown = [a for a in assays if a not in BUNDLED_ASSAYS]
+        if unknown:
+            raise RecoveryError(
+                f"unknown assay(s) {unknown}; choose from {sorted(BUNDLED_ASSAYS)}"
+            )
+        bad = [t for t in targets if t not in FAULT_TARGETS]
+        if bad:
+            raise RecoveryError(
+                f"unknown fault target(s) {bad}; choose from {FAULT_TARGETS}"
+            )
+        if not assays or not time_fractions or not targets:
+            raise RecoveryError("sweep needs at least one assay, arrival, and target")
+        for f in time_fractions:
+            if not 0.0 <= f < 1.0:
+                raise RecoveryError(
+                    f"fault-arrival fractions must be in [0, 1), got {f}"
+                )
+        self.assays = tuple(assays)
+        self.time_fractions = tuple(time_fractions)
+        self.targets = tuple(targets)
+        self.annealing = annealing
+        self.recovery_annealing = recovery_annealing
+        self.max_concurrent_ops = max_concurrent_ops
+        self.seed = seed
+
+    def _specs(self) -> list[_SweepSpec]:
+        """One spec per assay with all seeds pre-derived (jobs-invariant)."""
+        rng = ensure_rng(self.seed)
+        n_scenarios = len(self.time_fractions) * len(self.targets)
+        specs = []
+        for assay in self.assays:
+            combo_seed = spawn_seed(rng)
+            scenario_seeds = tuple(spawn_seed(rng) for _ in range(n_scenarios))
+            specs.append(
+                _SweepSpec(
+                    assay=assay,
+                    time_fractions=self.time_fractions,
+                    targets=self.targets,
+                    seed=combo_seed,
+                    scenario_seeds=scenario_seeds,
+                    annealing=self.annealing,
+                    recovery_annealing=self.recovery_annealing,
+                    max_concurrent_ops=self.max_concurrent_ops,
+                )
+            )
+        return specs
+
+    def run(self, jobs: int = 1) -> RecoverySweepReport:
+        """Execute the grid; ``jobs > 1`` parallelizes over assays."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        specs = self._specs()
+        t0 = time.perf_counter()
+        if jobs == 1 or len(specs) == 1:
+            per_combo = [_run_sweep_combo(spec) for spec in specs]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+                per_combo = list(pool.map(_run_sweep_combo, specs))
+        return RecoverySweepReport(
+            seed=self.seed,
+            jobs=jobs,
+            wall_s=time.perf_counter() - t0,
+            records=[rec for combo in per_combo for rec in combo],
+        )

@@ -61,7 +61,7 @@ _STATIC_HARD = FAULTY | PARKED_HALO
 
 
 def _entries_block(
-    entries: list[tuple[str, str | None, str | None]],
+    entries: list[tuple[str, str | None, str | None, bool, bool]],
     net_id: str,
     producer: str | None,
     consumer: str | None,
@@ -69,20 +69,22 @@ def _entries_block(
     cons_cells: frozenset[int],
     idx: int,
 ) -> bool:
-    """Foreign, non-exempt trajectory-halo entry present?"""
-    for eid, ep, ec in entries:
+    """Foreign, non-exempt trajectory-halo entry present? Exemptions
+    are two-sided: the queried cell must be in-zone *and* the entry's
+    recorded origin flag must say the reserving position was too."""
+    for eid, ep, ec, pok, cok in entries:
         if eid == net_id:
             continue
-        if ec is not None and ec == consumer and idx in cons_cells:
+        if cok and ec is not None and ec == consumer and idx in cons_cells:
             continue
-        if ep is not None and ep == producer and idx in prod_cells:
+        if pok and ep is not None and ep == producer and idx in prod_cells:
             continue
         return True
     return False
 
 
 def _tails_block(
-    entries: list[tuple[str, str | None, str | None, int]],
+    entries: list[tuple[str, str | None, str | None, int, bool, bool]],
     step: int,
     net_id: str,
     producer: str | None,
@@ -92,12 +94,12 @@ def _tails_block(
     idx: int,
 ) -> bool:
     """Foreign, non-exempt parked tail covering *step*?"""
-    for eid, ep, ec, from_step in entries:
+    for eid, ep, ec, from_step, pok, cok in entries:
         if from_step > step or eid == net_id:
             continue
-        if ec is not None and ec == consumer and idx in cons_cells:
+        if cok and ec is not None and ec == consumer and idx in cons_cells:
             continue
-        if ep is not None and ep == producer and idx in prod_cells:
+        if pok and ep is not None and ep == producer and idx in prod_cells:
             continue
         return True
     return False
@@ -512,14 +514,14 @@ class PrioritizedRouter:
         to the cell's reserved-free-from bound, not the horizon."""
         tail_entries = grid._tail.get(dst)
         if tail_entries:
-            for eid, ep, ec, from_step in tail_entries:
+            for eid, ep, ec, from_step, pok, cok in tail_entries:
                 if eid == net_id:
                     continue
                 if max(from_step, step + 1) > horizon:
                     continue
-                if ec is not None and ec == consumer and dst in cons_cells:
+                if cok and ec is not None and ec == consumer and dst in cons_cells:
                     continue
-                if ep is not None and ep == producer and dst in prod_cells:
+                if pok and ep is not None and ep == producer and dst in prod_cells:
                     continue
                 return False
         last = grid._cell_last.get(dst, -1)

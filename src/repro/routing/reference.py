@@ -54,8 +54,13 @@ class ReferenceTimeGrid:
         #: op id -> exemption rects (merge/split zones accumulate: a
         #: relocated plug adds its spot without losing the footprint).
         self._regions: dict[str, list[Rect]] = {}
-        #: step -> cell -> [(net_id, producer, consumer), ...] halo entries.
-        self._halo: dict[int, dict[Point, list[tuple[str, str | None, str | None]]]] = {}
+        #: step -> cell -> [(net_id, producer, consumer, prod_in,
+        #: cons_in), ...] halo entries; the flags record whether the
+        #: droplet position that produced the entry lies inside the
+        #: producer's/consumer's zone (two-sided exemption rule).
+        self._halo: dict[
+            int, dict[Point, list[tuple[str, str | None, str | None, bool, bool]]]
+        ] = {}
         #: net_id -> (step, cell) keys for O(path) removal.
         self._net_keys: dict[str, list[tuple[int, Point]]] = {}
 
@@ -141,14 +146,19 @@ class ReferenceTimeGrid:
         net = routed.net
         if net.net_id in self._net_keys:
             raise ValueError(f"net {net.net_id!r} is already reserved")
-        entry = (net.net_id, net.producer, net.consumer)
-        # Collect each step's halo cells as a set first: the t-1/t/t+1
-        # windows of consecutive steps overlap, and a waiting or parked
-        # droplet would otherwise insert the same (step, cell) entry
-        # three times over.
-        cells_by_step: dict[int, set[Point]] = {}
+        # Collect each step's halo cells first, keyed by the origin's
+        # in-zone flag pair: the t-1/t/t+1 windows of consecutive steps
+        # overlap, and a waiting or parked droplet would otherwise
+        # insert the same (step, cell) entry three times over. Distinct
+        # flag pairs stay distinct entries — the two-sided exemption is
+        # per origin position.
+        cells_by_step: dict[int, dict[Point, int]] = {}
         for t in range(routed.start_step, horizon + 1):
             p = routed.position_at(t)
+            flags = 1 << (
+                (1 if self.in_region(net.producer, p) else 0)
+                | (2 if self.in_region(net.consumer, p) else 0)
+            )
             halo = {
                 Point(p.x + dx, p.y + dy)
                 for dx in (-1, 0, 1)
@@ -156,12 +166,20 @@ class ReferenceTimeGrid:
             }
             for s in (t - 1, t, t + 1):
                 if s >= 0:
-                    cells_by_step.setdefault(s, set()).update(halo)
+                    per_step = cells_by_step.setdefault(s, {})
+                    for c in halo:
+                        per_step[c] = per_step.get(c, 0) | flags
         keys = self._net_keys.setdefault(net.net_id, [])
-        for s, cells in cells_by_step.items():
+        net_id, producer, consumer = net.net_id, net.producer, net.consumer
+        for s, flagged in cells_by_step.items():
             per_step = self._halo.setdefault(s, {})
-            for c in cells:
-                per_step.setdefault(c, []).append(entry)
+            for c, flag_set in flagged.items():
+                lst = per_step.setdefault(c, [])
+                for fl in range(4):
+                    if flag_set & (1 << fl):
+                        lst.append(
+                            (net_id, producer, consumer, bool(fl & 1), bool(fl & 2))
+                        )
                 keys.append((s, c))
 
     def remove_reservation(self, net_id: str) -> None:
@@ -195,21 +213,24 @@ class ReferenceTimeGrid:
 
     def reserved_blocked(self, cell: Point, step: int, net: Net) -> bool:
         """True if another droplet's halo covers (*cell*, *step*) for
-        this net, honoring merge/split exemptions."""
+        this net, honoring the two-sided merge/split exemptions (both
+        the queried cell and the entry's recorded origin in-zone)."""
         entries = self._halo.get(step, {}).get(cell)
         if not entries:
             return False
-        for net_id, producer, consumer in entries:
+        for net_id, producer, consumer, prod_in, cons_in in entries:
             if net_id == net.net_id:
                 continue
             if (
-                consumer is not None
+                cons_in
+                and consumer is not None
                 and consumer == net.consumer
                 and self.in_region(consumer, cell)
             ):
                 continue
             if (
-                producer is not None
+                prod_in
+                and producer is not None
                 and producer == net.producer
                 and self.in_region(producer, cell)
             ):

@@ -93,8 +93,20 @@ class RoutingSynthesizer:
         schedule: Schedule,
         placement: Placement,
         faulty_cells: Iterable[Point | tuple[int, int]] = (),
+        after_time: float | None = None,
+        step_offset: int = 0,
     ) -> RoutingPlan:
-        """Route every placed-to-placed dependency edge of *graph*."""
+        """Route every placed-to-placed dependency edge of *graph*.
+
+        *after_time* restricts synthesis to the **suffix**: only epochs
+        released at or after that instant are routed (the online-
+        recovery engine re-routes the transports not executed strictly
+        before the fault — an epoch releasing exactly at the fault
+        instant already faces the dead cell — against an updated fault
+        mask and merges the result with the already-executed prefix
+        epochs). *step_offset* seeds the first routed epoch's global
+        step counter so suffix epochs continue the prefix's numbering.
+        """
         m = self.margin
         width = placement.core_width + 2 * m
         height = placement.core_height + 2 * m
@@ -113,10 +125,11 @@ class RoutingSynthesizer:
             if u in placement and v in placement and v in schedule
         ]
         release_times = sorted({schedule.start(v) for _, v in edges})
+        if after_time is not None:
+            release_times = [t for t in release_times if t >= after_time]
 
         self.compaction_reports = []
         epochs: list[RoutingEpoch] = []
-        step_offset = 0
         for t in release_times:
             batch = [(u, v) for u, v in edges if schedule.start(v) == t]
             epoch = self._route_epoch(

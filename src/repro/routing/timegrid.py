@@ -19,7 +19,13 @@ droplet occupy cell C at timestep T?* Obstacles come in two flavors:
 Reservations carry their net's producer/consumer so that merge and
 split exemptions apply: droplets feeding the same consumer ignore each
 other inside that consumer's footprint, and shares split from the same
-producer ignore each other inside the producer's footprint.
+producer ignore each other inside the producer's footprint. The
+exemption is **two-sided**, exactly like the plan verifier's rule: each
+halo entry records whether the droplet position that *produced* it lies
+inside the shared zone, and an exemption is granted only when both the
+queried cell and that recorded origin are in-zone. (Historically the
+grid only checked the queried cell, which let a merge approach straddle
+the zone boundary and emit plans the verifier rejected.)
 
 **Packed representation.** This implementation is built for the A* hot
 path: a cell is the flat integer index ``(y-1)*width + (x-1)``, static
@@ -87,12 +93,18 @@ class TimeGrid:
         self._regions: dict[str, list[Rect]] = {}
         #: op id -> packed in-bounds region cells, cached for the router.
         self._region_cells: dict[str, frozenset[int]] = {}
-        #: step*area + idx -> [(net_id, producer, consumer), ...] halo
-        #: entries of in-flight trajectory positions.
-        self._halo: dict[int, list[tuple[str, str | None, str | None]]] = {}
-        #: idx -> [(net_id, producer, consumer, from_step), ...] parked
-        #: tails: the goal halo a droplet holds from arrival onward.
-        self._tail: dict[int, list[tuple[str, str | None, str | None, int]]] = {}
+        #: step*area + idx -> [(net_id, producer, consumer, prod_in,
+        #: cons_in), ...] halo entries of in-flight trajectory
+        #: positions; the two flags record whether the droplet position
+        #: that produced the entry lies inside the producer's/consumer's
+        #: registered zone (the verifier's two-sided exemption rule).
+        self._halo: dict[int, list[tuple[str, str | None, str | None, bool, bool]]] = {}
+        #: idx -> [(net_id, producer, consumer, from_step, prod_in,
+        #: cons_in), ...] parked tails: the goal halo a droplet holds
+        #: from arrival onward, flags computed from the goal cell.
+        self._tail: dict[
+            int, list[tuple[str, str | None, str | None, int, bool, bool]]
+        ] = {}
         #: idx -> upper bound on the last step any _halo entry touches
         #: the cell (the reserved-free-from bound, see module docs).
         self._cell_last: dict[int, int] = {}
@@ -273,38 +285,60 @@ class TimeGrid:
         net = routed.net
         if net.net_id in self._net_keys:
             raise ValueError(f"net {net.net_id!r} is already reserved")
-        entry = (net.net_id, net.producer, net.consumer)
         start = routed.start_step
         arrival = routed.arrival_step
         cells = routed.cells
-        # Collect each step's halo cells as a set first: the t-1/t/t+1
-        # windows of consecutive steps overlap, and a waiting droplet
-        # would otherwise insert the same (step, cell) entry repeatedly.
-        cells_by_step: dict[int, set[int]] = {}
+        prod_cells = self.region_idxs(net.producer)
+        cons_cells = self.region_idxs(net.consumer)
+        # Collect each step's halo cells first, keyed by the origin's
+        # in-zone flag pair: the t-1/t/t+1 windows of consecutive steps
+        # overlap, and a waiting droplet would otherwise insert the same
+        # (step, cell) entry repeatedly. Distinct flag pairs stay
+        # distinct entries — the two-sided exemption is per origin
+        # position, so one in-zone and one out-of-zone origin covering
+        # the same (step, cell) must both be consulted.
+        cells_by_step: dict[int, dict[int, int]] = {}
         for t in range(start, min(arrival - 1, horizon) + 1):
-            halo = self._halo_idxs(cells[t - start])
+            p = cells[t - start]
+            pidx = (p[1] - 1) * self.width + (p[0] - 1)
+            flags = 1 << ((1 if pidx in prod_cells else 0) | (2 if pidx in cons_cells else 0))
+            halo = self._halo_idxs(p)
             for s in (t - 1, t, t + 1):
                 if s >= 0:
-                    cells_by_step.setdefault(s, set()).update(halo)
+                    per_step = cells_by_step.setdefault(s, {})
+                    for i in halo:
+                        per_step[i] = per_step.get(i, 0) | flags
         halo_map = self._halo
         cell_last = self._cell_last
         halo_keys: list[int] = []
         tail_idxs: list[int] = []
         area = self.area
-        for s, idxs in cells_by_step.items():
+        net_id, producer, consumer = net.net_id, net.producer, net.consumer
+        for s, per_step in cells_by_step.items():
             base = s * area
-            for i in idxs:
+            for i, flag_set in per_step.items():
                 key = base + i
                 lst = halo_map.get(key)
                 if lst is None:
-                    halo_map[key] = [entry]
-                else:
-                    lst.append(entry)
+                    lst = halo_map[key] = []
+                for fl in range(4):
+                    if flag_set & (1 << fl):
+                        lst.append(
+                            (net_id, producer, consumer, bool(fl & 1), bool(fl & 2))
+                        )
                 halo_keys.append(key)
                 if cell_last.get(i, -1) < s:
                     cell_last[i] = s
         if horizon >= arrival:
-            tail_entry = (net.net_id, net.producer, net.consumer, max(arrival - 1, 0))
+            gidx = (cells[-1][1] - 1) * self.width + (cells[-1][0] - 1)
+            tail_entry = (
+                net_id,
+                producer,
+                consumer,
+                max(arrival - 1, 0),
+                gidx in prod_cells,
+                gidx in cons_cells,
+            )
             for i in self._halo_idxs(cells[-1]):
                 self._tail.setdefault(i, []).append(tail_entry)
                 tail_idxs.append(i)
@@ -348,7 +382,8 @@ class TimeGrid:
 
     def reserved_blocked(self, cell: Point, step: int, net: Net) -> bool:
         """True if another droplet's halo covers (*cell*, *step*) for
-        this net, honoring merge/split exemptions."""
+        this net, honoring the two-sided merge/split exemptions (both
+        the queried cell and the entry's recorded origin in-zone)."""
         x, y = cell
         if not (1 <= x <= self.width and 1 <= y <= self.height):
             return False
@@ -356,22 +391,22 @@ class TimeGrid:
         net_id, producer, consumer = net.net_id, net.producer, net.consumer
         entries = self._halo.get(step * self.area + idx)
         if entries:
-            for eid, ep, ec in entries:
+            for eid, ep, ec, pok, cok in entries:
                 if eid == net_id:
                     continue
-                if ec is not None and ec == consumer and self.in_region(ec, cell):
+                if cok and ec is not None and ec == consumer and self.in_region(ec, cell):
                     continue
-                if ep is not None and ep == producer and self.in_region(ep, cell):
+                if pok and ep is not None and ep == producer and self.in_region(ep, cell):
                     continue
                 return True
         tails = self._tail.get(idx)
         if tails:
-            for eid, ep, ec, from_step in tails:
+            for eid, ep, ec, from_step, pok, cok in tails:
                 if from_step > step or eid == net_id:
                     continue
-                if ec is not None and ec == consumer and self.in_region(ec, cell):
+                if cok and ec is not None and ec == consumer and self.in_region(ec, cell):
                     continue
-                if ep is not None and ep == producer and self.in_region(ep, cell):
+                if pok and ep is not None and ep == producer and self.in_region(ep, cell):
                     continue
                 return True
         return False

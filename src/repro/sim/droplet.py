@@ -40,17 +40,31 @@ class Droplet:
         """Names of the reagents present."""
         return frozenset(self.contents)
 
-    def merged_with(self, other: "Droplet", produced_by: str | None = None) -> "Droplet":
+    def merged_with(
+        self,
+        other: "Droplet",
+        produced_by: str | None = None,
+        droplet_id: int | None = None,
+    ) -> "Droplet":
         """Combine with *other* into a new droplet at this position.
 
         Volumes add reagent-wise; the result carries a fresh id — the
-        physical droplets cease to exist as separate entities.
+        physical droplets cease to exist as separate entities. Callers
+        needing run-deterministic ids (the simulator's checkpoint/resume
+        replays) pass *droplet_id* explicitly.
         """
         contents = dict(self.contents)
         for reagent, vol in other.contents.items():
             contents[reagent] = contents.get(reagent, 0.0) + vol
+        if droplet_id is None:
+            return Droplet(
+                position=self.position, contents=contents, produced_by=produced_by
+            )
         return Droplet(
-            position=self.position, contents=contents, produced_by=produced_by
+            position=self.position,
+            contents=contents,
+            droplet_id=droplet_id,
+            produced_by=produced_by,
         )
 
     def concentration(self, reagent: str) -> float:

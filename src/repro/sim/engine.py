@@ -21,9 +21,10 @@ unroutable transport, or a failed relocation all surface as
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.assay.graph import SequencingGraph
 from repro.assay.operations import OperationType
@@ -128,6 +129,63 @@ class _OpState:
     restarted: bool = False
 
 
+@dataclass(frozen=True)
+class SimCheckpoint:
+    """Live mid-assay state captured at one instant of a simulation.
+
+    Built by :meth:`BiochipSimulator.checkpoint`: the operation
+    classification (completed / in-flight / pending), the realized
+    intervals, and the parked-droplet map are the *live state* at
+    ``time_s``, while the recorded fault history makes
+    :meth:`BiochipSimulator.resume` an exact deterministic replay —
+    resuming with no new fault reproduces the original event trace
+    bit-identically (property-tested in
+    ``tests/test_recovery_checkpoint.py``). All cells are in simulator
+    coordinates.
+    """
+
+    #: Instant the checkpoint was taken at (seconds).
+    time_s: float
+    #: Every fault that had fired by ``time_s``, ``(time, cell)``.
+    faults: tuple[tuple[float, Point], ...]
+    #: Operations whose realized interval ended at or before ``time_s``.
+    completed: tuple[str, ...]
+    #: Operations running at ``time_s`` (their modules are frozen:
+    #: droplets are physically inside them).
+    in_flight: tuple[str, ...]
+    #: Operations that had not started — the re-synthesizable suffix.
+    pending: tuple[str, ...]
+    #: Realized ``op_id -> (start, finish)`` intervals under the
+    #: recorded faults.
+    realized: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: Products sitting parked on the array at ``time_s``
+    #: (``producer op -> cell``); droplets inside in-flight modules are
+    #: represented by the module, not listed here.
+    droplet_positions: dict[str, Point] = field(default_factory=dict)
+    #: Event-log prefix (``time <= time_s``), for trace comparison.
+    events_prefix: tuple[SimEvent, ...] = ()
+    #: The live placement at ``time_s`` (reconfigurations included).
+    placement: Placement | None = None
+    #: The run's nominal makespan (for penalty accounting downstream).
+    nominal_makespan: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (events and placement condensed to counts)."""
+        return {
+            "time_s": self.time_s,
+            "faults": [[t, [c.x, c.y]] for t, c in self.faults],
+            "completed": list(self.completed),
+            "in_flight": list(self.in_flight),
+            "pending": list(self.pending),
+            "realized": {o: list(iv) for o, iv in self.realized.items()},
+            "droplet_positions": {
+                o: [p.x, p.y] for o, p in sorted(self.droplet_positions.items())
+            },
+            "events_prefix": len(self.events_prefix),
+            "nominal_makespan_s": self.nominal_makespan,
+        }
+
+
 class BiochipSimulator:
     """Executes one synthesized assay on a simulated array."""
 
@@ -143,6 +201,7 @@ class BiochipSimulator:
         drive_voltage: float = 65.0,
         strict: bool = True,
         routing_plan: RoutingPlan | None = None,
+        plan_covers_faults: Iterable[Point | tuple[int, int]] = (),
     ) -> None:
         if margin < 1:
             raise ValueError(f"margin must be >= 1 (droplets need route lanes), got {margin}")
@@ -150,6 +209,12 @@ class BiochipSimulator:
         self.schedule = schedule
         self.binding = binding
         self.routing_plan = routing_plan
+        #: Faults (simulator coordinates) the routing plan was computed
+        #: against. Planned transports normally stop replaying the
+        #: moment any fault fires (the plan knows nothing about it); a
+        #: *recovery* plan re-synthesized against a known fault mask is
+        #: declared here so its transports keep replaying.
+        self.plan_covers_faults = frozenset(Point(*c) for c in plan_covers_faults)
         self.ew = electrowetting if electrowetting is not None else ElectrowettingModel()
         self.reconfigurer = (
             reconfigurer if reconfigurer is not None else PartialReconfigurer()
@@ -172,11 +237,28 @@ class BiochipSimulator:
         for pm in normalized:
             self.placement.add(pm.moved_to(pm.x + margin, pm.y + margin))
         self.placement.validate()
-        self.array = MicrofluidicArray(self.width, self.height)
-        self._install_ports()
+        #: The constructed configuration every run() starts from —
+        #: reconfigurations reassign self.placement but never mutate it.
+        self._initial_placement = self.placement
         self.router = DropletRouter(self.width, self.height)
+        self._reset_run_state()
 
     # -- setup -----------------------------------------------------------------------
+
+    def _reset_run_state(self) -> None:
+        """Restore the constructed configuration so ``run()`` is
+        re-entrant: a pristine array (no accumulated fault marks), the
+        initial placement, the reservoir rotation at its first port,
+        and droplet ids restarting at 1. This is what makes
+        checkpoint/resume an exact deterministic replay."""
+        self.placement = self._initial_placement
+        self.array = MicrofluidicArray(self.width, self.height)
+        self._install_ports()
+        self._droplet_ids = itertools.count(1)
+        #: (time, producer op, cell-or-None) transitions of durable
+        #: droplet positions, appended in replay order; the checkpoint
+        #: derives "what sits where at time t" from this log.
+        self._position_log: list[tuple[float, str, Point | None]] = []
 
     def _install_ports(self) -> None:
         """Reservoirs along the left edge, waste/output on the right."""
@@ -214,6 +296,7 @@ class BiochipSimulator:
         placement shifted by ``margin``); use
         :meth:`module_cell` to aim at a particular module.
         """
+        self._reset_run_state()
         events: list[SimEvent] = []
         relocations: list[Relocation] = []
         self._planned_transports = 0
@@ -259,6 +342,96 @@ class BiochipSimulator:
         """A functional-region cell of *op_id*'s module (fault targeting)."""
         pm = self.placement.get(op_id)
         return next(iter(pm.functional_region.cells()))
+
+    def checkpoint(
+        self,
+        time_s: float,
+        faults: Iterable[tuple[float, Point | tuple[int, int]]] = (),
+    ) -> SimCheckpoint:
+        """Capture the live state at *time_s* under the faults fired so far.
+
+        Runs the (deterministic) simulation with exactly *faults* — all
+        of which must have fired by *time_s*; a checkpoint cannot know
+        the future — and snapshots the operation classification, the
+        realized intervals, the parked-droplet map, and the event-log
+        prefix. Raises :class:`SimulationError` when the underlying run
+        does not complete (there is no consistent state to capture).
+        """
+        fault_list = sorted(
+            ((float(t), Point(*c)) for t, c in faults), key=lambda fc: fc[0]
+        )
+        late = [f for f in fault_list if f[0] > time_s]
+        if late:
+            raise ValueError(
+                f"checkpoint at t={time_s:g} cannot include future faults: {late}"
+            )
+        strict, self.strict = self.strict, False
+        try:
+            report = self.run(faults=fault_list)
+        finally:
+            self.strict = strict
+        if not report.completed:
+            raise SimulationError(
+                f"cannot checkpoint a failed run: {report.failure_reason}"
+            )
+        completed: list[str] = []
+        in_flight: list[str] = []
+        pending: list[str] = []
+        realized: dict[str, tuple[float, float]] = {}
+        for op_id in sorted(self._states):
+            st = self._states[op_id]
+            realized[op_id] = (st.start, st.finish)
+            if st.finish <= time_s:
+                completed.append(op_id)
+            elif st.start <= time_s:
+                in_flight.append(op_id)
+            else:
+                pending.append(op_id)
+        positions: dict[str, Point] = {}
+        for t, op_id, p in self._position_log:
+            if t <= time_s:
+                if p is None:
+                    positions.pop(op_id, None)
+                else:
+                    positions[op_id] = p
+        return SimCheckpoint(
+            time_s=time_s,
+            faults=tuple(fault_list),
+            completed=tuple(completed),
+            in_flight=tuple(in_flight),
+            pending=tuple(pending),
+            realized=realized,
+            droplet_positions=positions,
+            events_prefix=tuple(e for e in report.events if e.time <= time_s),
+            placement=report.final_placement,
+            nominal_makespan=report.nominal_makespan,
+        )
+
+    def resume(
+        self,
+        checkpoint: SimCheckpoint,
+        new_faults: Iterable[tuple[float, Point | tuple[int, int]]] = (),
+    ) -> SimulationReport:
+        """Resume from *checkpoint*, optionally injecting *new_faults*.
+
+        Resumption is deterministic replay: the run re-executes from
+        time zero with the checkpoint's recorded fault history plus the
+        new faults, so with no new fault the returned report's event
+        trace equals the original bit for bit (and its prefix up to the
+        checkpoint instant always does when new faults only fire later).
+        New faults must not predate the checkpoint — the past is
+        already fixed.
+        """
+        extra = sorted(
+            ((float(t), Point(*c)) for t, c in new_faults), key=lambda fc: fc[0]
+        )
+        early = [f for f in extra if f[0] < checkpoint.time_s]
+        if early:
+            raise ValueError(
+                f"resume from t={checkpoint.time_s:g} cannot inject faults "
+                f"in the past: {early}"
+            )
+        return self.run(faults=[*checkpoint.faults, *extra])
 
     # -- phase 1: realized timeline ----------------------------------------------------
 
@@ -386,6 +559,7 @@ class BiochipSimulator:
                 droplet_of[op_id] = Droplet(
                     position=None,
                     contents={reagent: UNIT_DROPLET_NL},
+                    droplet_id=next(self._droplet_ids),
                     produced_by=op_id,
                 )
                 self._reservoir_queue.add(op_id)
@@ -429,7 +603,9 @@ class BiochipSimulator:
                 raise SimulationError(f"operation {op_id} received no droplets")
             merged = inputs[0]
             for droplet in inputs[1:]:
-                merged = merged.merged_with(droplet, op_id)
+                merged = merged.merged_with(
+                    droplet, op_id, droplet_id=next(self._droplet_ids)
+                )
             for droplet in inputs:
                 droplet.position = None  # absorbed into the merged product
             merged.position = module.functional_region.center
@@ -445,6 +621,7 @@ class BiochipSimulator:
             transport_cells += self._park_product(
                 op_id, merged, state, states, faults, droplet_of, events
             )
+            self._position_log.append((state.finish, op_id, merged.position))
 
         if product is None:
             # Mixing-only graphs end at the sink mix; its droplet is the product.
@@ -580,6 +757,7 @@ class BiochipSimulator:
         and the parking cell frees up once the last share is gone.
         """
         out = []
+        t = self._states[op_id].start
         for pred in self.graph.predecessors(op_id):
             if pred not in droplet_of:
                 continue
@@ -587,8 +765,13 @@ class BiochipSimulator:
             if source.position is None and pred in self._reservoir_queue:
                 source.position = self._next_dispense_cell()
                 self._reservoir_queue.discard(pred)
+                self._position_log.append((t, pred, source.position))
             consumers = [s for s in self.graph.successors(pred) if s in self.schedule]
             if len(consumers) <= 1:
+                if source.position is not None:
+                    # The sole consumer collects the whole product: it
+                    # leaves its parking cell at the consumer's start.
+                    self._position_log.append((t, pred, None))
                 out.append(source)
                 continue
             if source.position is None:
@@ -599,12 +782,14 @@ class BiochipSimulator:
             share = Droplet(
                 position=source.position,
                 contents={r: v / k for r, v in source.contents.items()},
+                droplet_id=next(self._droplet_ids),
                 produced_by=pred,
             )
             taken = self._shares_taken.get(pred, 0) + 1
             self._shares_taken[pred] = taken
             if taken >= k:
                 source.position = None  # last share collected; cell is free
+                self._position_log.append((t, pred, None))
             out.append(share)
         return out
 
@@ -618,7 +803,11 @@ class BiochipSimulator:
         for k in range(missing):
             cell = self._next_dispense_cell()
             name = reagents[k] if k < len(reagents) else f"{op.id}-in{k + 1}"
-            droplet = Droplet(position=cell, contents={name: UNIT_DROPLET_NL})
+            droplet = Droplet(
+                position=cell,
+                contents={name: UNIT_DROPLET_NL},
+                droplet_id=next(self._droplet_ids),
+            )
             events.append(SimEvent(t, "dispense", f"{name} at {cell}", op.id))
             out.append(droplet)
         return out
@@ -754,7 +943,11 @@ class BiochipSimulator:
         """
         if self.routing_plan is None or droplet.produced_by is None:
             return None
-        if faulty_now:
+        if faulty_now and not set(faulty_now) <= self.plan_covers_faults:
+            # A fault the plan was not synthesized against fired; every
+            # later transport falls back to the live-obstacle router. A
+            # recovery plan declares its fault mask via
+            # ``plan_covers_faults`` and keeps replaying.
             return None
         net = self.routing_plan.net_for(droplet.produced_by, op_id)
         if net is None:

@@ -36,3 +36,9 @@ class SimulationError(ReproError):
 class PipelineError(ReproError):
     """Raised when a synthesis pipeline is misassembled or a stage's
     prerequisites are missing from the context."""
+
+
+class RecoveryError(ReproError):
+    """Raised when the online fault-recovery engine is misused (e.g. a
+    fault injected outside the assay's lifetime, or recovery requested
+    without the products it needs)."""

@@ -1,0 +1,170 @@
+"""Checkpoint/resume round-trips and sweep determinism.
+
+The core invariant of the online-recovery design: resumption is
+deterministic replay, so checkpointing at *any* instant and resuming
+with no new fault must reproduce the original simulation trace **bit
+for bit** — same events (droplet ids included), same realized finishes,
+same transport accounting. Property-tested over random checkpoint
+instants; plus the Monte-Carlo sweep's jobs-invariance (records are
+identical for any worker count, timing fields excepted).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assay.catalog import build_assay
+from repro.placement.annealer import AnnealingParams
+from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.recovery import MonteCarloRecoverySweep
+from repro.sim.engine import BiochipSimulator
+from repro.synthesis.flow import SynthesisFlow
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture(scope="module", params=["pcr", "dilution"])
+def synthesized(request):
+    """One routed synthesis per assay, shared across the module."""
+    graph, binding = build_assay(request.param)
+    flow = SynthesisFlow(
+        placer=SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=7),
+        route=True,
+    )
+    result = flow.run(graph, explicit_binding=binding)
+    sim = BiochipSimulator(
+        graph,
+        result.schedule,
+        result.binding,
+        result.placement_result.placement,
+        routing_plan=result.routing_plan,
+        strict=False,
+    )
+    baseline = sim.run()
+    assert baseline.completed
+    return sim, baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(fraction=st.floats(min_value=0.0, max_value=1.1, allow_nan=False))
+def test_checkpoint_resume_reproduces_trace_bit_identically(synthesized, fraction):
+    """Checkpoint at any t, resume with no new fault -> original trace."""
+    sim, baseline = synthesized
+    t = fraction * baseline.nominal_makespan
+    checkpoint = sim.checkpoint(t)
+    resumed = sim.resume(checkpoint)
+    assert resumed.events == baseline.events
+    assert resumed.realized_finish == baseline.realized_finish
+    assert resumed.total_transport_cells == baseline.total_transport_cells
+    assert resumed.planned_transports == baseline.planned_transports
+    # The checkpoint's event prefix is exactly the trace up to t.
+    assert checkpoint.events_prefix == tuple(
+        e for e in baseline.events if e.time <= t
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(fraction=st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+def test_checkpoint_classification_partitions_the_schedule(synthesized, fraction):
+    sim, baseline = synthesized
+    t = fraction * baseline.nominal_makespan
+    ck = sim.checkpoint(t)
+    buckets = (*ck.completed, *ck.in_flight, *ck.pending)
+    assert sorted(buckets) == sorted(ck.realized)  # disjoint and exhaustive
+    for op in ck.completed:
+        assert ck.realized[op][1] <= t
+    for op in ck.in_flight:
+        start, finish = ck.realized[op]
+        assert start <= t < finish
+    for op in ck.pending:
+        assert ck.realized[op][0] > t
+
+
+def test_run_is_reentrant(synthesized):
+    """Two runs of the same simulator are bit-identical (reset state:
+    array faults, reservoir rotation, droplet ids)."""
+    sim, baseline = synthesized
+    again = sim.run()
+    assert again.events == baseline.events
+    assert again.realized_finish == baseline.realized_finish
+
+
+def test_resume_prefix_is_stable_under_new_faults(synthesized):
+    """A new fault strictly after the checkpoint cannot rewrite the past."""
+    sim, baseline = synthesized
+    t = 0.6 * baseline.nominal_makespan
+    ck = sim.checkpoint(t)
+    # A boundary-lane cell: fault-tolerant enough to keep the run alive.
+    resumed = sim.resume(ck, new_faults=[(t + 0.5, (1, 1))])
+    assert tuple(e for e in resumed.events if e.time <= t) == ck.events_prefix
+
+
+def test_checkpoint_rejects_future_faults_and_failed_runs(synthesized):
+    sim, baseline = synthesized
+    with pytest.raises(ValueError):
+        sim.checkpoint(1.0, faults=[(5.0, (1, 1))])
+    with pytest.raises(ValueError):
+        sim.resume(sim.checkpoint(3.0), new_faults=[(1.0, (1, 1))])
+
+
+def test_checkpoint_to_dict_is_json_safe(synthesized):
+    import json
+
+    sim, baseline = synthesized
+    ck = sim.checkpoint(0.5 * baseline.nominal_makespan)
+    payload = json.dumps(ck.to_dict())
+    assert "completed" in payload
+
+
+def test_checkpoint_of_failed_run_raises():
+    graph, binding = build_assay("pcr")
+    flow = SynthesisFlow(
+        placer=SimulatedAnnealingPlacer(params=AnnealingParams.fast(), seed=7)
+    )
+    result = flow.run(graph, explicit_binding=binding)
+    sim = BiochipSimulator(
+        graph,
+        result.schedule,
+        result.binding,
+        result.placement_result.placement,
+        strict=False,
+    )
+    # Kill every module of the whole array at t=0: unrecoverable.
+    w, h = result.placement_result.array_dims
+    faults = [(0.0, (x + 2, y + 2)) for x in range(1, w + 1) for y in range(1, h + 1)]
+    with pytest.raises(SimulationError):
+        sim.checkpoint(10.0, faults=faults)
+
+
+# -- sweep determinism across --jobs ------------------------------------------
+
+_TIMING_KEYS = ("replace_s", "reroute_s", "recovery_s")
+
+
+def _stable(report_dict: dict) -> dict:
+    """The deterministic portion of a sweep report (timings stripped)."""
+    out = {k: v for k, v in report_dict.items() if k not in ("wall_s", "jobs")}
+    out["mean_recovery_s"] = None
+    out["scenarios"] = [
+        {k: v for k, v in rec.items() if k not in _TIMING_KEYS}
+        for rec in report_dict["scenarios"]
+    ]
+    return out
+
+
+def test_sweep_results_identical_across_jobs():
+    def run(jobs: int) -> dict:
+        sweep = MonteCarloRecoverySweep(
+            assays=("pcr", "dilution"),
+            time_fractions=(0.5,),
+            targets=("pending-module",),
+            annealing=AnnealingParams.fast(),
+            recovery_annealing=AnnealingParams.fast(),
+            seed=11,
+        )
+        return sweep.run(jobs=jobs).to_dict()
+
+    serial = _stable(run(1))
+    parallel = _stable(run(2))
+    assert serial == parallel
