@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the library's day-to-day uses without writing code:
+Ten commands cover the library's day-to-day uses without writing code:
 
 * ``flow`` — synthesize a built-in protocol end to end and print the
   schedule, placement, and FTI analysis.
@@ -9,6 +9,9 @@ Eight commands cover the library's day-to-day uses without writing code:
   top-20 cumulative profile entries so perf work starts from data.
 * ``route`` — synthesize with the concurrent droplet-routing stage and
   print the verified per-net routing plan.
+* ``simulate`` — droplet-level replay of a synthesized assay on the
+  discrete-event engine (``--stepped`` selects the fixed-timestep
+  reference), reporting wall time and events/sec.
 * ``portfolio`` — best-of-N seeded pipeline instances (in parallel with
   ``--jobs``), winner selected by ``--objective``.
 * ``batch`` — sweep an (assay x fault pattern) scenario grid through
@@ -183,6 +186,80 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sim.engine import BiochipSimulator
+    from repro.synthesis.flow import SynthesisFlow
+
+    engine = "stepped" if args.stepped else "event"
+    if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
+        raise SystemExit(
+            f"simulate: --fault-time must be in [0, 1), got {args.fault_time}"
+        )
+    graph, binding = PROTOCOLS[args.protocol]()
+    flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
+    result = flow.run(graph, explicit_binding=binding)
+    sim = BiochipSimulator(
+        result.graph,
+        result.schedule,
+        result.binding,
+        result.placement_result.placement,
+        strict=False,
+        engine=engine,
+    )
+
+    faults: list[tuple[float, tuple[int, int]]] = []
+    if args.fault_time is not None or args.cell is not None:
+        fraction = args.fault_time if args.fault_time is not None else 0.5
+        fault_t = fraction * result.schedule.makespan
+        if args.cell is not None:
+            cell = sim.sim_cell(tuple(args.cell))
+        else:
+            # Aim at the first module still pending at the fault instant
+            # (deterministic, and actually exercises reconfiguration).
+            pending = sorted(
+                pm.op_id
+                for pm in sim.placement
+                if sim.schedule.interval(pm.op_id).start > fault_t
+            )
+            target = pending[0] if pending else sorted(
+                pm.op_id for pm in sim.placement
+            )[0]
+            cell = sim.module_cell(target)
+        faults = [(fault_t, cell)]
+
+    report = _profiled(args.profile, lambda: sim.run(faults=faults))
+    best = float("inf")
+    for _ in range(max(1, args.reps)):
+        t0 = time.perf_counter()
+        report = sim.run(faults=faults)
+        best = min(best, time.perf_counter() - t0)
+    queue_events = (
+        sim._event_stats["processed"] if engine == "event" else len(report.events)
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "engine": engine,
+                    "report": report.to_dict(),
+                    "wall_ms": best * 1000,
+                    "events_per_s": queue_events / best,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.summary())
+        print()
+        print(
+            f"engine [{engine}]: best of {max(1, args.reps)} runs "
+            f"{best * 1000:.2f} ms = {queue_events / best:,.0f} events/s"
+        )
+    return 0 if report.completed else 1
+
+
 def cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.pipeline import PortfolioSpec, run_portfolio
     from repro.util.errors import PipelineError
@@ -261,6 +338,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             route=args.route,
             verify=args.verify,
             seed=args.seed,
+            sim_engine=args.sim_engine,
         )
         report = runner.run(jobs=args.jobs)
     except (PipelineError, ValueError) as exc:
@@ -346,6 +424,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
                     else AnnealingParams.low_temperature()
                 ),
                 seed=args.seed,
+                sim_engine=args.sim_engine,
             )
             report = sweep.run(jobs=args.jobs)
         except (RecoveryError, ValueError) as exc:
@@ -364,7 +443,8 @@ def cmd_recover(args: argparse.Namespace) -> int:
         annealing=(
             AnnealingParams.fast() if args.fast
             else AnnealingParams.low_temperature()
-        )
+        ),
+        sim_engine=args.sim_engine,
     )
     outcomes = {}
     exit_code = 0
@@ -493,6 +573,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.set_defaults(func=cmd_route)
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="droplet-level replay on the discrete-event (or stepped) engine",
+    )
+    eng = simulate.add_mutually_exclusive_group()
+    eng.add_argument(
+        "--event", dest="stepped", action="store_false",
+        help="run on the discrete-event engine (default)",
+    )
+    eng.add_argument(
+        "--stepped", dest="stepped", action="store_true",
+        help="run on the fixed-timestep reference engine",
+    )
+    simulate.set_defaults(stepped=False)
+    simulate.add_argument(
+        "--fault-time", type=float, default=None, metavar="FRACTION",
+        help="inject a fault at this fraction of the nominal makespan "
+             "(aimed at the first still-pending module unless --cell)",
+    )
+    simulate.add_argument(
+        "--cell", nargs=2, type=int, metavar=("X", "Y"), default=None,
+        help="explicit fault cell in placement coordinates "
+             "(implies a fault at --fault-time, default 0.5)",
+    )
+    simulate.add_argument(
+        "--reps", type=int, default=3,
+        help="timing repetitions (wall time reports the best)",
+    )
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="emit the run report and timing as JSON",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
     portfolio = sub.add_parser(
         "portfolio",
         help="best-of-N seeded pipeline instances, in parallel with --jobs",
@@ -527,16 +641,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action=argparse.BooleanOptionalAction, default=False,
         help="replay each scenario on the droplet-level simulator",
     )
+    batch.add_argument(
+        "--sim-engine", choices=("event", "stepped"), default="event",
+        help="simulation driver for --verify (event fast path / "
+             "stepped reference)",
+    )
     batch.add_argument("--max-concurrent", type=int, default=3)
     batch.set_defaults(func=cmd_batch)
 
-    for p in (flow, place, route, portfolio):
+    for p in (flow, place, route, simulate, portfolio):
         p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
         p.add_argument("--beta", type=float, default=None,
                        help="enable the fault-aware two-stage placer at this beta")
         p.add_argument("--max-concurrent", type=int, default=3)
 
-    for p in (place, route, portfolio):
+    for p in (place, route, simulate, portfolio):
         p.add_argument(
             "--profile", action="store_true",
             help="run under cProfile and print the top-20 cumulative entries "
@@ -583,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the Monte-Carlo recovery sweep "
              "(assay x fault-arrival x fault-pattern) instead of one demo fault",
     )
+    recover.add_argument(
+        "--sim-engine", choices=("event", "stepped"), default="event",
+        help="simulation driver for checkpoint/verify replays",
+    )
     recover.add_argument("--max-concurrent", type=int, default=3)
     recover.add_argument(
         "--jobs", type=int, default=1,
@@ -609,7 +732,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
     explore.set_defaults(func=cmd_explore)
 
-    for p in (flow, place, route, portfolio, batch, recover, sweep, exps, explore):
+    for p in (
+        flow, place, route, simulate, portfolio, batch, recover, sweep, exps,
+        explore,
+    ):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument(
             "--fast",

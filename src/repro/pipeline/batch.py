@@ -121,6 +121,7 @@ class _ComboSpec:
     binding_strategy: str
     route: bool
     verify: bool
+    sim_engine: str = "event"
 
 
 @dataclass
@@ -218,6 +219,7 @@ def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
         seed=rng,
         route=spec.route,
         verify=spec.verify,
+        sim_engine=spec.sim_engine,
     )
     prefix, suffix = pipeline.split_on_faults()
 
@@ -298,6 +300,7 @@ class BatchScenarioRunner:
         route: bool = True,
         verify: bool = False,
         seed: int = 7,
+        sim_engine: str = "event",
     ) -> None:
         if not assays:
             raise PipelineError("batch sweep needs at least one assay")
@@ -328,6 +331,12 @@ class BatchScenarioRunner:
         self.route = route
         self.verify = verify
         self.seed = seed
+        if sim_engine not in ("event", "stepped"):
+            raise PipelineError(
+                f"unknown simulation engine {sim_engine!r}; "
+                "choose 'event' or 'stepped'"
+            )
+        self.sim_engine = sim_engine
 
     def _combo_specs(self) -> list[_ComboSpec]:
         """One spec per (assay, array size), with pre-derived seeds."""
@@ -349,6 +358,7 @@ class BatchScenarioRunner:
                         binding_strategy=self.binding_strategy,
                         route=self.route,
                         verify=self.verify,
+                        sim_engine=self.sim_engine,
                     )
                 )
         return specs

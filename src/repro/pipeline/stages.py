@@ -232,9 +232,14 @@ class SimVerifyStage:
     name = "verify"
     uses_faults = True
 
-    def __init__(self, margin: int = 2, strict: bool = False) -> None:
+    def __init__(
+        self, margin: int = 2, strict: bool = False, engine: str = "event"
+    ) -> None:
         self.margin = margin
         self.strict = strict
+        #: Simulation driver ("event" fast path / "stepped" reference);
+        #: validated by BiochipSimulator itself.
+        self.engine = engine
 
     def run(self, context: SynthesisContext) -> None:
         context.require("binding", "schedule", "placement_result")
@@ -248,6 +253,7 @@ class SimVerifyStage:
             margin=self.margin,
             strict=self.strict,
             routing_plan=context.routing_plan,
+            engine=self.engine,
         )
         faults = [(0.0, simulator.sim_cell(p)) for p in context.faulty_cells]
         context.sim_report = simulator.run(faults=faults)

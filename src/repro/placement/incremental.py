@@ -168,45 +168,68 @@ class IncrementalCostEvaluator:
       of at most ``resync_every`` additions.
     """
 
-    def __init__(self, placement: Placement, resync_every: int = 2048) -> None:
+    def __init__(
+        self,
+        placement: Placement,
+        resync_every: int = 2048,
+        warm_from: IncrementalCostEvaluator | None = None,
+    ) -> None:
         if len(placement) == 0:
             raise PlacementError("cannot evaluate an empty placement")
         if resync_every < 1:
             raise ValueError(f"resync_every must be >= 1, got {resync_every}")
         self.placement = placement
         self.resync_every = resync_every
-        #: Scratch space for cost-side memoization (e.g. FTI by signature).
-        self.memo: dict = {}
 
         pitch = placement.pitch_mm
         self._pitch2 = pitch * pitch
 
         self._recs: dict[str, _Rec] = {}
-        self._specs: dict[str, object] = {}
-        self._spans: dict[str, tuple[float, float]] = {}
-        #: Per-op ``(normal_dims, rotated_dims)`` — dims() is a hot call.
-        self._dims: dict[str, tuple[tuple[int, int], tuple[int, int]]] = {}
         for pm in placement:
             fp = pm.footprint
             self._recs[pm.op_id] = _Rec(fp.x, fp.y, fp.x2, fp.y2, pm.rotated)
-            self._specs[pm.op_id] = pm.spec
-            self._spans[pm.op_id] = (pm.start, pm.stop)
-            self._dims[pm.op_id] = (pm.spec.dims(False), pm.spec.dims(True))
 
-        # Static time-overlap structure: fixed by the schedule forever.
-        ids = list(self._recs)
-        self._nbrs: dict[str, list[tuple[str, float]]] = {op: [] for op in ids}
-        self._pair_dt: dict[tuple[str, str], float] = {}
-        for i, a in enumerate(ids):
-            a_start, a_stop = self._spans[a]
-            for b in ids[i + 1:]:
-                b_start, b_stop = self._spans[b]
-                dt = min(a_stop, b_stop) - max(a_start, b_start)
-                if dt > 0:
-                    self._nbrs[a].append((b, dt))
-                    self._nbrs[b].append((a, dt))
-                    self._pair_dt[(a, b)] = dt
-                    self._pair_dt[(b, a)] = dt
+        if warm_from is not None and self._warm_compatible(warm_from, placement):
+            # Same operation set, spans, specs, and pitch: every
+            # schedule-fixed structure (the O(n^2) time-neighbor lists,
+            # the per-pair durations, the dims cache) and the FTI memo
+            # (keyed by translation-normalized signature — position- and
+            # fault-independent) carry over verbatim. Only the
+            # position-dependent records, edge multisets, and running
+            # sums below are rebuilt. The shared structures are never
+            # mutated after construction, so aliasing them is safe.
+            self._specs = warm_from._specs
+            self._spans = warm_from._spans
+            self._dims = warm_from._dims
+            self._nbrs = warm_from._nbrs
+            self._pair_dt = warm_from._pair_dt
+            self.memo = warm_from.memo
+        else:
+            #: Scratch space for cost-side memoization (FTI by signature).
+            self.memo = {}
+            self._specs = {}
+            self._spans = {}
+            #: Per-op ``(normal_dims, rotated_dims)`` — dims() is a hot call.
+            self._dims = {}
+            for pm in placement:
+                self._specs[pm.op_id] = pm.spec
+                self._spans[pm.op_id] = (pm.start, pm.stop)
+                self._dims[pm.op_id] = (pm.spec.dims(False), pm.spec.dims(True))
+
+            # Static time-overlap structure: fixed by the schedule forever.
+            ids = list(self._recs)
+            self._nbrs = {op: [] for op in ids}
+            self._pair_dt = {}
+            for i, a in enumerate(ids):
+                a_start, a_stop = self._spans[a]
+                for b in ids[i + 1:]:
+                    b_start, b_stop = self._spans[b]
+                    dt = min(a_stop, b_stop) - max(a_start, b_start)
+                    if dt > 0:
+                        self._nbrs[a].append((b, dt))
+                        self._nbrs[b].append((a, dt))
+                        self._pair_dt[(a, b)] = dt
+                        self._pair_dt[(b, a)] = dt
 
         # Edge multisets (sorted, with duplicates) for the bounding box.
         self._x1s = sorted(r.x1 for r in self._recs.values())
@@ -221,6 +244,25 @@ class IncrementalCostEvaluator:
         self.conflict_pairs = 0
         self.pull_sum = 0
         self._rebuild_sums()
+
+    @staticmethod
+    def _warm_compatible(
+        warm: IncrementalCostEvaluator, placement: Placement
+    ) -> bool:
+        """True when *warm*'s schedule-fixed structures apply verbatim:
+        identical op set, module specs (by identity), time spans, and
+        pitch. Placements that differ only in module positions — the
+        recovery sweep's per-scenario layouts — qualify."""
+        if warm._pitch2 != placement.pitch_mm * placement.pitch_mm:
+            return False
+        if len(warm._specs) != len(placement):
+            return False
+        for pm in placement:
+            if warm._specs.get(pm.op_id) is not pm.spec:
+                return False
+            if warm._spans[pm.op_id] != (pm.start, pm.stop):
+                return False
+        return True
 
     # -- component queries --------------------------------------------------------
 

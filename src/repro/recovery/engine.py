@@ -323,6 +323,7 @@ class OnlineRecoveryEngine:
         core_slack: int = 2,
         reconfigurer: PartialReconfigurer | None = None,
         synthesizer: RoutingSynthesizer | None = None,
+        sim_engine: str = "event",
     ) -> None:
         #: Warm-restart schedule: start cool, move little — the nominal
         #: placement is already near-optimal and only the fault
@@ -344,12 +345,28 @@ class OnlineRecoveryEngine:
         self.synthesizer = (
             synthesizer if synthesizer is not None else RoutingSynthesizer(margin=margin)
         )
+        #: Simulation driver for checkpoints and resumed replays
+        #: (validated by BiochipSimulator itself).
+        self.sim_engine = sim_engine
+        #: One-slot nominal-simulator cache: a sweep checkpoints the
+        #: same synthesis result at many instants, and the event
+        #: engine's run-log cache only pays off when those checkpoints
+        #: share a simulator.
+        self._nominal_sim: tuple[SynthesisResult, BiochipSimulator] | None = None
+        #: Template evaluator whose schedule-fixed warm-up (time-
+        #: neighbor lists, FTI memo) is reused across recovery calls on
+        #: the same schedule (see IncrementalCostEvaluator.warm_from).
+        self._warm_template: IncrementalCostEvaluator | None = None
 
     # -- checkpointing --------------------------------------------------------
 
     def simulator_for(self, result: SynthesisResult) -> BiochipSimulator:
-        """The nominal simulator recovery checkpoints against."""
-        return BiochipSimulator(
+        """The nominal simulator recovery checkpoints against (cached
+        per synthesis result, by identity)."""
+        cached = self._nominal_sim
+        if cached is not None and cached[0] is result:
+            return cached[1]
+        sim = BiochipSimulator(
             result.graph,
             result.schedule,
             result.binding,
@@ -357,7 +374,10 @@ class OnlineRecoveryEngine:
             margin=self.margin,
             strict=False,
             routing_plan=result.routing_plan,
+            engine=self.sim_engine,
         )
+        self._nominal_sim = (result, sim)
+        return sim
 
     def checkpoint_of(
         self,
@@ -575,6 +595,7 @@ class OnlineRecoveryEngine:
             strict=False,
             routing_plan=merged,
             plan_covers_faults=(),
+            engine=self.sim_engine,
         )
         sim_faults = [(0.0, sim.sim_cell(f)) for f in known] + [
             (fault_time_s, sim.sim_cell(f)) for f in faults
@@ -668,7 +689,12 @@ class OnlineRecoveryEngine:
             anchors={op: (nominal.get(op).x, nominal.get(op).y) for op in movable},
             fault_weight=self.fault_weight,
         )
-        evaluator = IncrementalCostEvaluator(working.copy())
+        evaluator = IncrementalCostEvaluator(
+            working.copy(), warm_from=self._warm_template
+        )
+        # Later calls on the same schedule (every scenario of a sweep)
+        # reuse this evaluator's O(n^2) warm-up and FTI memo.
+        self._warm_template = evaluator
         inner = params.iterations_per_module * len(movable)
         best, _stats = engine.optimize_incremental(
             evaluator, cost, mover.propose_move, inner, record_history=False

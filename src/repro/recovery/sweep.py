@@ -50,6 +50,7 @@ class _SweepSpec:
     annealing: AnnealingParams | None
     recovery_annealing: AnnealingParams | None
     max_concurrent_ops: int | None
+    sim_engine: str = "event"
 
 
 @dataclass
@@ -195,7 +196,9 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
             for t in spec.targets
         ]
 
-    engine = OnlineRecoveryEngine(annealing=spec.recovery_annealing)
+    engine = OnlineRecoveryEngine(
+        annealing=spec.recovery_annealing, sim_engine=spec.sim_engine
+    )
     makespan = result.schedule.makespan
     seeds = iter(spec.scenario_seeds)
     first = True
@@ -265,6 +268,7 @@ class MonteCarloRecoverySweep:
         recovery_annealing: AnnealingParams | None = None,
         max_concurrent_ops: int | None = 3,
         seed: int = 7,
+        sim_engine: str = "event",
     ) -> None:
         unknown = [a for a in assays if a not in BUNDLED_ASSAYS]
         if unknown:
@@ -290,6 +294,12 @@ class MonteCarloRecoverySweep:
         self.recovery_annealing = recovery_annealing
         self.max_concurrent_ops = max_concurrent_ops
         self.seed = seed
+        if sim_engine not in ("event", "stepped"):
+            raise RecoveryError(
+                f"unknown simulation engine {sim_engine!r}; "
+                "choose 'event' or 'stepped'"
+            )
+        self.sim_engine = sim_engine
 
     def _specs(self) -> list[_SweepSpec]:
         """One spec per assay with all seeds pre-derived (jobs-invariant)."""
@@ -309,6 +319,7 @@ class MonteCarloRecoverySweep:
                     annealing=self.annealing,
                     recovery_annealing=self.recovery_annealing,
                     max_concurrent_ops=self.max_concurrent_ops,
+                    sim_engine=self.sim_engine,
                 )
             )
         return specs

@@ -332,6 +332,16 @@ class PrioritizedRouter:
                 continue
             grid.reserve(rn, horizon)
             new_routed.append(rn)
+        victim_ids = {rn.net.net_id for rn in victims}
+        if any(net.net_id in victim_ids for net in new_failed):
+            # A previously-routed trapper could not be re-routed and is
+            # now stranded at its source. The untouched survivors were
+            # routed against its *old trajectory*, so their paths may
+            # violate the fluidic constraint around the new park — the
+            # partial result is unsound. A clean full round (every
+            # source parked up front) is the sound repair.
+            all_nets = sorted([rn.net for rn in routed] + failed, key=key)
+            return self._route_round(all_nets, grid, horizon)
         return new_routed, new_failed
 
     def _age(

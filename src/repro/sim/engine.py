@@ -7,7 +7,7 @@ The engine replays an assay on a simulated electrowetting array:
    detect -> partially-reconfigure -> restart loop on the affected
    module, and the delay propagates to data-dependent successors.
 2. A *droplet replay* then executes operations in realized order:
-   reagent droplets are dispensed at boundary ports, routed (A*, with
+   reagent droplets are dispensed at boundary ports, routed (with
    fluidic constraints, around operating modules and faulty cells) to
    their module's functional region, merged, held for the operation
    time, and the product forwarded — ending with the assay product
@@ -17,12 +17,29 @@ The replay *verifies* the configuration: an infeasible placement, an
 unroutable transport, or a failed relocation all surface as
 :class:`~repro.util.errors.SimulationError` (or a failed report when
 ``strict=False``).
+
+Two interchangeable drivers execute the replay (``engine=``):
+
+* ``"event"`` (default) — the discrete-event fast path: fault
+  injections and operation dispatches are events on a heap-ordered
+  :class:`~repro.sim.eventengine.DiscreteEventEngine` (tag-keyed
+  cancellation slides a dispatch when a fault delays its operation),
+  transports run on the packed-integer
+  :class:`~repro.sim.fastgrid.PackedDropletRouter`, the pristine array
+  is reused across runs, and completed runs feed a log cache that
+  turns :meth:`BiochipSimulator.checkpoint` into a log truncation.
+* ``"stepped"`` — the original sequential reference loop, kept
+  bit-identical as the cross-check (the pattern
+  ``routing/reference.py`` established): a fixed seed produces the
+  identical :class:`SimulationReport` — events, timings, per-droplet
+  position log — from both engines (property-tested in
+  ``tests/test_sim_eventengine.py``).
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -35,6 +52,8 @@ from repro.placement.model import PlacedModule, Placement
 from repro.routing.plan import RoutingPlan, chebyshev
 from repro.sim.droplet import Droplet
 from repro.sim.electrowetting import ElectrowettingModel
+from repro.sim.eventengine import DiscreteEventEngine
+from repro.sim.fastgrid import PackedDropletRouter
 from repro.sim.router import DropletRouter
 from repro.util.errors import (
     ReconfigurationError,
@@ -129,6 +148,32 @@ class _OpState:
     restarted: bool = False
 
 
+# Event-time phases: every timeline-realization (fault) event precedes
+# every replay (dispatch) event on the queue's time axis, encoding the
+# reference engine's realize-then-replay semantics in the event order
+# (see DESIGN.md, "Event-driven simulation core").
+_PHASE_REALIZE = 0
+_PHASE_REPLAY = 1
+
+#: Completed runs retained for checkpoint-by-log-truncation, per
+#: simulator (keyed by fault list — a deterministic replay never goes
+#: stale, the cap only bounds memory).
+_LOG_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class _RunLog:
+    """Everything :meth:`BiochipSimulator.checkpoint` needs from a
+    completed run: truncating this log at any instant *is* the
+    checkpoint, no replay prefix required."""
+
+    report: SimulationReport
+    #: Realized ``op_id -> (start, finish)``, insertion-ordered by op id.
+    realized: dict[str, tuple[float, float]]
+    #: Durable droplet-position transitions, in replay order.
+    position_log: tuple[tuple[float, str, Point | None], ...]
+
+
 @dataclass(frozen=True)
 class SimCheckpoint:
     """Live mid-assay state captured at one instant of a simulation.
@@ -202,9 +247,15 @@ class BiochipSimulator:
         strict: bool = True,
         routing_plan: RoutingPlan | None = None,
         plan_covers_faults: Iterable[Point | tuple[int, int]] = (),
+        engine: str = "event",
     ) -> None:
         if margin < 1:
             raise ValueError(f"margin must be >= 1 (droplets need route lanes), got {margin}")
+        if engine not in ("event", "stepped"):
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; choose 'event' or 'stepped'"
+            )
+        self.engine = engine
         self.graph = graph
         self.schedule = schedule
         self.binding = binding
@@ -241,6 +292,19 @@ class BiochipSimulator:
         #: reconfigurations reassign self.placement but never mutate it.
         self._initial_placement = self.placement
         self.router = DropletRouter(self.width, self.height)
+        #: Packed transport kernel; the event engine routes on it, the
+        #: stepped reference keeps the original per-Point A*.
+        self._fast_router = (
+            PackedDropletRouter(self.width, self.height) if engine == "event" else None
+        )
+        #: Completed-run logs, keyed by the run's fault list; consulted
+        #: by :meth:`checkpoint` (event engine only).
+        self._log_cache: OrderedDict[tuple, _RunLog] = OrderedDict()
+        #: Parking ring-search memo (event engine only): obstacle
+        #: signature -> nearest safe cell.
+        self._park_memo: dict[tuple, Point] = {}
+        self.array: MicrofluidicArray | None = None
+        self._marked_faulty: list[Point] = []
         self._reset_run_state()
 
     # -- setup -----------------------------------------------------------------------
@@ -250,10 +314,21 @@ class BiochipSimulator:
         re-entrant: a pristine array (no accumulated fault marks), the
         initial placement, the reservoir rotation at its first port,
         and droplet ids restarting at 1. This is what makes
-        checkpoint/resume an exact deterministic replay."""
+        checkpoint/resume an exact deterministic replay.
+
+        The event engine reuses the array object across runs (repairing
+        the cells the previous run marked — O(#faults), not O(area));
+        the stepped reference rebuilds it, as the seed engine did."""
         self.placement = self._initial_placement
-        self.array = MicrofluidicArray(self.width, self.height)
-        self._install_ports()
+        if self.engine == "event" and self.array is not None:
+            for cell in self._marked_faulty:
+                self.array.repair(cell)
+            self._marked_faulty.clear()
+            self._next_port = 0
+        else:
+            self.array = MicrofluidicArray(self.width, self.height)
+            self._install_ports()
+            self._marked_faulty = []
         self._droplet_ids = itertools.count(1)
         #: (time, producer op, cell-or-None) transitions of durable
         #: droplet positions, appended in replay order; the checkpoint
@@ -305,8 +380,13 @@ class BiochipSimulator:
         )
 
         try:
-            states = self._realize_timeline(fault_list, events, relocations)
-            product, transport = self._replay_droplets(states, fault_list, events)
+            if self.engine == "event":
+                states, product, transport = self._execute_event(
+                    fault_list, events, relocations
+                )
+            else:
+                states = self._realize_timeline(fault_list, events, relocations)
+                product, transport = self._replay_droplets(states, fault_list, events)
         except (RoutingError, ReconfigurationError, SimulationError) as exc:
             if self.strict:
                 raise SimulationError(str(exc)) from exc
@@ -325,7 +405,7 @@ class BiochipSimulator:
             )
 
         realized_finish = {s.op_id: s.finish for s in states.values()}
-        return SimulationReport(
+        report = SimulationReport(
             completed=True,
             events=sorted(events, key=lambda e: (e.time, e.kind)),
             realized_finish=realized_finish,
@@ -337,6 +417,30 @@ class BiochipSimulator:
             final_placement=self.placement,
             planned_transports=self._planned_transports,
         )
+        self._remember_run(fault_list, report, states)
+        return report
+
+    def _remember_run(
+        self,
+        fault_list: list[tuple[float, Point]],
+        report: SimulationReport,
+        states: dict[str, _OpState],
+    ) -> None:
+        """Retain a completed run's log so a later :meth:`checkpoint`
+        at any instant is a truncation instead of a replay prefix."""
+        log = _RunLog(
+            report=report,
+            realized={
+                op_id: (states[op_id].start, states[op_id].finish)
+                for op_id in sorted(states)
+            },
+            position_log=tuple(self._position_log),
+        )
+        key = tuple(fault_list)
+        self._log_cache[key] = log
+        self._log_cache.move_to_end(key)
+        while len(self._log_cache) > _LOG_CACHE_SIZE:
+            self._log_cache.popitem(last=False)
 
     def module_cell(self, op_id: str) -> Point:
         """A functional-region cell of *op_id*'s module (fault targeting)."""
@@ -365,30 +469,38 @@ class BiochipSimulator:
             raise ValueError(
                 f"checkpoint at t={time_s:g} cannot include future faults: {late}"
             )
-        strict, self.strict = self.strict, False
-        try:
-            report = self.run(faults=fault_list)
-        finally:
-            self.strict = strict
-        if not report.completed:
-            raise SimulationError(
-                f"cannot checkpoint a failed run: {report.failure_reason}"
-            )
+        # Checkpoint-as-log-truncation: a deterministic replay under a
+        # fixed fault list always produces the same log, so any retained
+        # completed run under these faults can be truncated at `time_s`
+        # directly — no replay prefix. The stepped reference always
+        # re-runs (it is the cross-check); the event engine reuses.
+        key = tuple(fault_list)
+        log = self._log_cache.get(key) if self.engine == "event" else None
+        if log is not None:
+            self._log_cache.move_to_end(key)
+        else:
+            strict, self.strict = self.strict, False
+            try:
+                report = self.run(faults=fault_list)
+            finally:
+                self.strict = strict
+            if not report.completed:
+                raise SimulationError(
+                    f"cannot checkpoint a failed run: {report.failure_reason}"
+                )
+            log = self._log_cache[key]  # run() just recorded it
         completed: list[str] = []
         in_flight: list[str] = []
         pending: list[str] = []
-        realized: dict[str, tuple[float, float]] = {}
-        for op_id in sorted(self._states):
-            st = self._states[op_id]
-            realized[op_id] = (st.start, st.finish)
-            if st.finish <= time_s:
+        for op_id, (start, finish) in log.realized.items():
+            if finish <= time_s:
                 completed.append(op_id)
-            elif st.start <= time_s:
+            elif start <= time_s:
                 in_flight.append(op_id)
             else:
                 pending.append(op_id)
         positions: dict[str, Point] = {}
-        for t, op_id, p in self._position_log:
+        for t, op_id, p in log.position_log:
             if t <= time_s:
                 if p is None:
                     positions.pop(op_id, None)
@@ -400,11 +512,13 @@ class BiochipSimulator:
             completed=tuple(completed),
             in_flight=tuple(in_flight),
             pending=tuple(pending),
-            realized=realized,
+            realized=dict(log.realized),
             droplet_positions=positions,
-            events_prefix=tuple(e for e in report.events if e.time <= time_s),
-            placement=report.final_placement,
-            nominal_makespan=report.nominal_makespan,
+            events_prefix=tuple(
+                e for e in log.report.events if e.time <= time_s
+            ),
+            placement=log.report.final_placement,
+            nominal_makespan=log.report.nominal_makespan,
         )
 
     def resume(
@@ -435,13 +549,8 @@ class BiochipSimulator:
 
     # -- phase 1: realized timeline ----------------------------------------------------
 
-    def _realize_timeline(
-        self,
-        faults: list[tuple[float, Point]],
-        events: list[SimEvent],
-        relocations: list[Relocation],
-    ) -> dict[str, _OpState]:
-        """Derive realized op intervals under faults + reconfiguration."""
+    def _initial_states(self) -> dict[str, _OpState]:
+        """Per-operation state seeded from the nominal schedule."""
         states: dict[str, _OpState] = {}
         for op in self.graph:
             if op.id not in self.schedule:
@@ -449,63 +558,88 @@ class BiochipSimulator:
             iv = self.schedule.interval(op.id)
             module = self.placement.get(op.id) if op.id in self.placement else None
             states[op.id] = _OpState(op.id, module, iv.start, iv.stop)
-
-        for fault_time, cell in faults:
-            events.append(
-                SimEvent(fault_time, "fault", f"cell {cell} failed", None)
-            )
-            self.array.mark_faulty(cell)
-            # Only modules still running or yet to run can be rescued;
-            # completed operations already consumed their cells.
-            pending = [
-                s for s in states.values()
-                if s.module is not None
-                and s.finish > fault_time
-                and s.module.footprint.contains_point(cell)
-            ]
-            pending_ids = {s.op_id for s in pending}
-            for state in sorted(pending, key=lambda s: s.start):
-                try:
-                    new_placement, plan = self.reconfigurer.apply(
-                        self.placement,
-                        cell,
-                        extra_faults=[
-                            f for t, f in faults if t <= fault_time and f != cell
-                        ],
-                        only_ops=pending_ids,
-                    )
-                except ReconfigurationError:
-                    raise SimulationError(
-                        f"fault at {cell} (t={fault_time:g}) is unrecoverable for "
-                        f"operation {state.op_id}"
-                    ) from None
-                self.placement = new_placement
-                for reloc in plan.relocations:
-                    relocations.append(reloc)
-                    # Refresh every affected state's module reference.
-                    if reloc.op_id in states:
-                        states[reloc.op_id].module = reloc.new
-                    migrate = self.ew.transport_time_s(
-                        reloc.distance, self.drive_voltage
-                    )
-                    events.append(
-                        SimEvent(
-                            fault_time,
-                            "relocation",
-                            f"{reloc} (migration {migrate:.3f} s)",
-                            reloc.op_id,
-                        )
-                    )
-                    moved = states.get(reloc.op_id)
-                    if moved is not None and moved.start <= fault_time < moved.finish:
-                        # Running op: droplets migrate, the mix restarts.
-                        duration = moved.finish - moved.start
-                        moved.start = moved.start  # dispatch time unchanged
-                        moved.finish = fault_time + migrate + duration
-                        moved.restarted = True
-            # Propagate delays along dependencies.
-            self._propagate(states)
         return states
+
+    def _realize_timeline(
+        self,
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+        relocations: list[Relocation],
+    ) -> dict[str, _OpState]:
+        """Derive realized op intervals under faults + reconfiguration."""
+        states = self._initial_states()
+        for fault_time, cell in faults:
+            self._apply_fault(fault_time, cell, states, faults, events, relocations)
+        return states
+
+    def _apply_fault(
+        self,
+        fault_time: float,
+        cell: Point,
+        states: dict[str, _OpState],
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+        relocations: list[Relocation],
+    ) -> None:
+        """Inject one fault: mark the cell, rescue affected modules via
+        partial reconfiguration, and propagate the delays. Shared by
+        both engines — the event driver fires it from a fault event,
+        the stepped driver from its realize loop."""
+        events.append(
+            SimEvent(fault_time, "fault", f"cell {cell} failed", None)
+        )
+        self.array.mark_faulty(cell)
+        self._marked_faulty.append(cell)
+        # Only modules still running or yet to run can be rescued;
+        # completed operations already consumed their cells.
+        pending = [
+            s for s in states.values()
+            if s.module is not None
+            and s.finish > fault_time
+            and s.module.footprint.contains_point(cell)
+        ]
+        pending_ids = {s.op_id for s in pending}
+        for state in sorted(pending, key=lambda s: s.start):
+            try:
+                new_placement, plan = self.reconfigurer.apply(
+                    self.placement,
+                    cell,
+                    extra_faults=[
+                        f for t, f in faults if t <= fault_time and f != cell
+                    ],
+                    only_ops=pending_ids,
+                )
+            except ReconfigurationError:
+                raise SimulationError(
+                    f"fault at {cell} (t={fault_time:g}) is unrecoverable for "
+                    f"operation {state.op_id}"
+                ) from None
+            self.placement = new_placement
+            for reloc in plan.relocations:
+                relocations.append(reloc)
+                # Refresh every affected state's module reference.
+                if reloc.op_id in states:
+                    states[reloc.op_id].module = reloc.new
+                migrate = self.ew.transport_time_s(
+                    reloc.distance, self.drive_voltage
+                )
+                events.append(
+                    SimEvent(
+                        fault_time,
+                        "relocation",
+                        f"{reloc} (migration {migrate:.3f} s)",
+                        reloc.op_id,
+                    )
+                )
+                moved = states.get(reloc.op_id)
+                if moved is not None and moved.start <= fault_time < moved.finish:
+                    # Running op: droplets migrate, the mix restarts.
+                    duration = moved.finish - moved.start
+                    moved.start = moved.start  # dispatch time unchanged
+                    moved.finish = fault_time + migrate + duration
+                    moved.restarted = True
+        # Propagate delays along dependencies.
+        self._propagate(states)
 
     def _propagate(self, states: dict[str, _OpState]) -> None:
         for op_id in self.graph.topological_order():
@@ -531,103 +665,204 @@ class BiochipSimulator:
         events: list[SimEvent],
     ) -> tuple[Droplet | None, int]:
         droplet_of: dict[str, Droplet] = {}
+        self._begin_replay(states)
+        transport_cells = 0
+        product: Droplet | None = None
+
+        for op_id in sorted(states, key=lambda o: (states[o].start, o)):
+            cells, out = self._execute_op(op_id, states, faults, events, droplet_of)
+            transport_cells += cells
+            if out is not None:
+                product = out
+
+        if product is None:
+            product = self._sink_product(droplet_of)
+        return product, transport_cells
+
+    def _begin_replay(self, states: dict[str, _OpState]) -> None:
         self._shares_taken: dict[str, int] = {}
         self._reservoir_queue: set[str] = set()
         # Obstacle queries during replay must use *realized* intervals:
         # a fault-induced restart shifts downstream ops, and a module
         # whose nominal window covers t may not actually be running.
         self._states = states
-        transport_cells = 0
-        product: Droplet | None = None
 
-        for op_id in sorted(states, key=lambda o: (states[o].start, o)):
-            op = self.graph.operation(op_id)
-            state = states[op_id]
-            t = state.start
-            faulty_now = [c for ft, c in faults if ft <= t]
-            parked = [
-                d.position
-                for d in droplet_of.values()
-                if d.position is not None
-            ]
+    def _sink_product(self, droplet_of: dict[str, Droplet]) -> Droplet | None:
+        # Mixing-only graphs end at the sink mix; its droplet is the product.
+        sinks = [s for s in self.graph.sinks() if s in droplet_of]
+        return droplet_of[sinks[0]] if sinks else None
 
-            if op.type is OperationType.DISPENSE:
-                # Lazy dispensing: the reservoir meters the droplet when
-                # its consumer collects it — parking droplets at ports
-                # for seconds would wall off the boundary lanes.
-                reagent = op.params.get("reagent", op.id)
-                droplet_of[op_id] = Droplet(
-                    position=None,
-                    contents={reagent: UNIT_DROPLET_NL},
-                    droplet_id=next(self._droplet_ids),
-                    produced_by=op_id,
-                )
-                self._reservoir_queue.add(op_id)
-                events.append(SimEvent(t, "dispense", f"{reagent} metered", op_id))
-                continue
+    def _execute_op(
+        self,
+        op_id: str,
+        states: dict[str, _OpState],
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+        droplet_of: dict[str, Droplet],
+    ) -> tuple[int, Droplet | None]:
+        """Execute one operation at its realized start: collect inputs,
+        transport, merge, hold, park. Returns ``(transport cells, assay
+        product or None)``. Both engines dispatch every operation
+        through here, in the same total order — that is the bit-identity
+        argument's core (see DESIGN.md)."""
+        op = self.graph.operation(op_id)
+        state = states[op_id]
+        t = state.start
+        faulty_now = [c for ft, c in faults if ft <= t]
+        parked = [
+            d.position
+            for d in droplet_of.values()
+            if d.position is not None
+        ]
 
-            if op.type is OperationType.OUTPUT:
-                inputs = self._input_droplets(op_id, droplet_of)
-                if len(inputs) != 1:
-                    raise SimulationError(
-                        f"output {op_id} expects exactly one droplet, got {len(inputs)}"
-                    )
-                droplet = inputs[0]
-                others = [p for p in parked if p != droplet.position]
-                out = self.array.port("out").location
-                transport_cells += self._transport(
-                    droplet, out, t, faulty_now, others, events, op_id
-                )
-                events.append(SimEvent(state.finish, "output", f"{droplet}", op_id))
-                droplet.position = None
-                product = droplet
-                droplet_of[op_id] = droplet
-                continue
+        if op.type is OperationType.DISPENSE:
+            # Lazy dispensing: the reservoir meters the droplet when
+            # its consumer collects it — parking droplets at ports
+            # for seconds would wall off the boundary lanes.
+            reagent = op.params.get("reagent", op.id)
+            droplet_of[op_id] = Droplet(
+                position=None,
+                contents={reagent: UNIT_DROPLET_NL},
+                droplet_id=next(self._droplet_ids),
+                produced_by=op_id,
+            )
+            self._reservoir_queue.add(op_id)
+            events.append(SimEvent(t, "dispense", f"{reagent} metered", op_id))
+            return 0, None
 
-            # Reconfigurable operation on a placed module.
-            module = state.module
-            if module is None:
-                raise SimulationError(f"operation {op_id} has no placed module")
-            self._check_module_health(module, faulty_now, op_id)
+        if op.type is OperationType.OUTPUT:
             inputs = self._input_droplets(op_id, droplet_of)
-            inputs.extend(self._auto_dispense(op, len(inputs), t, events))
-            input_positions = {d.position for d in inputs}
-            others = [p for p in parked if p not in input_positions]
-            targets = list(module.functional_region.cells())
-            for i, droplet in enumerate(inputs):
-                goal = targets[min(i, len(targets) - 1)]
-                transport_cells += self._transport(
-                    droplet, goal, t, faulty_now, others, events, op_id
+            if len(inputs) != 1:
+                raise SimulationError(
+                    f"output {op_id} expects exactly one droplet, got {len(inputs)}"
                 )
-            if not inputs:
-                raise SimulationError(f"operation {op_id} received no droplets")
-            merged = inputs[0]
-            for droplet in inputs[1:]:
-                merged = merged.merged_with(
-                    droplet, op_id, droplet_id=next(self._droplet_ids)
-                )
-            for droplet in inputs:
-                droplet.position = None  # absorbed into the merged product
-            merged.position = module.functional_region.center
-            merged.produced_by = op_id
-            events.append(
-                SimEvent(t, "op-start", f"{op.type.value} on {module.footprint}", op_id)
+            droplet = inputs[0]
+            others = [p for p in parked if p != droplet.position]
+            out = self.array.port("out").location
+            transport_cells = self._transport(
+                droplet, out, t, faulty_now, others, events, op_id
             )
-            events.append(SimEvent(state.finish, "op-finish", f"-> {merged}", op_id))
-            droplet_of[op_id] = merged
-            # Dynamic reconfigurability means another module may reuse
-            # these cells before the consumer collects the product; park
-            # it on a cell that stays free until then.
-            transport_cells += self._park_product(
-                op_id, merged, state, states, faults, droplet_of, events
-            )
-            self._position_log.append((state.finish, op_id, merged.position))
+            events.append(SimEvent(state.finish, "output", f"{droplet}", op_id))
+            droplet.position = None
+            droplet_of[op_id] = droplet
+            return transport_cells, droplet
 
+        # Reconfigurable operation on a placed module.
+        module = state.module
+        if module is None:
+            raise SimulationError(f"operation {op_id} has no placed module")
+        self._check_module_health(module, faulty_now, op_id)
+        inputs = self._input_droplets(op_id, droplet_of)
+        inputs.extend(self._auto_dispense(op, len(inputs), t, events))
+        input_positions = {d.position for d in inputs}
+        others = [p for p in parked if p not in input_positions]
+        targets = list(module.functional_region.cells())
+        transport_cells = 0
+        for i, droplet in enumerate(inputs):
+            goal = targets[min(i, len(targets) - 1)]
+            transport_cells += self._transport(
+                droplet, goal, t, faulty_now, others, events, op_id
+            )
+        if not inputs:
+            raise SimulationError(f"operation {op_id} received no droplets")
+        merged = inputs[0]
+        for droplet in inputs[1:]:
+            merged = merged.merged_with(
+                droplet, op_id, droplet_id=next(self._droplet_ids)
+            )
+        for droplet in inputs:
+            droplet.position = None  # absorbed into the merged product
+        merged.position = module.functional_region.center
+        merged.produced_by = op_id
+        events.append(
+            SimEvent(t, "op-start", f"{op.type.value} on {module.footprint}", op_id)
+        )
+        events.append(SimEvent(state.finish, "op-finish", f"-> {merged}", op_id))
+        droplet_of[op_id] = merged
+        # Dynamic reconfigurability means another module may reuse
+        # these cells before the consumer collects the product; park
+        # it on a cell that stays free until then.
+        transport_cells += self._park_product(
+            op_id, merged, state, states, faults, droplet_of, events
+        )
+        self._position_log.append((state.finish, op_id, merged.position))
+        return transport_cells, None
+
+    # -- event-driven execution ----------------------------------------------------------
+
+    def _execute_event(
+        self,
+        faults: list[tuple[float, Point]],
+        events: list[SimEvent],
+        relocations: list[Relocation],
+    ) -> tuple[dict[str, _OpState], Droplet | None, int]:
+        """Run the assay on the discrete-event queue.
+
+        Fault injections are scheduled at ``(_PHASE_REALIZE, t)`` and
+        operation dispatches at ``(_PHASE_REPLAY, realized start)`` with
+        ``priority=op_id`` — so every fault fires before any dispatch
+        (encoding the reference's realize-then-replay semantics on the
+        time axis) and same-instant dispatches fire in op-id order
+        (the reference's ``sorted(states, key=(start, op_id))``). A
+        fault handler that shifts an operation's realized start slides
+        its pending dispatch via tag replacement; since propagation
+        only ever delays and every affected op starts after the fault,
+        the replaced event is always still pending.
+        """
+        states = self._initial_states()
+        droplet_of: dict[str, Droplet] = {}
+        self._begin_replay(states)
+        engine = DiscreteEventEngine()
+        totals = [0]  # transport cells (closure accumulator)
+        product_box: list[Droplet | None] = [None]
+        scheduled_start: dict[str, float] = {}
+
+        def dispatcher(op_id: str):
+            def fire() -> None:
+                cells, out = self._execute_op(
+                    op_id, states, faults, events, droplet_of
+                )
+                totals[0] += cells
+                if out is not None:
+                    product_box[0] = out
+            return fire
+
+        def schedule_op(op_id: str) -> None:
+            start = states[op_id].start
+            scheduled_start[op_id] = start
+            engine.schedule(
+                (_PHASE_REPLAY, start),
+                dispatcher(op_id),
+                priority=op_id,
+                tag=("dispatch", op_id),
+            )
+
+        def fault_handler(fault_time: float, cell: Point):
+            def fire() -> None:
+                self._apply_fault(
+                    fault_time, cell, states, faults, events, relocations
+                )
+                # Slide every dispatch whose realized start moved.
+                for op_id, start in scheduled_start.items():
+                    if states[op_id].start != start:
+                        schedule_op(op_id)
+            return fire
+
+        for fault_time, cell in faults:
+            engine.schedule((_PHASE_REALIZE, fault_time), fault_handler(fault_time, cell))
+        for op_id in sorted(states):
+            schedule_op(op_id)
+        engine.run()
+        self._event_stats = {
+            "processed": engine.processed,
+            "scheduled": engine.scheduled,
+            "cancelled": engine.cancelled,
+        }
+
+        product = product_box[0]
         if product is None:
-            # Mixing-only graphs end at the sink mix; its droplet is the product.
-            sinks = [s for s in self.graph.sinks() if s in droplet_of]
-            product = droplet_of[sinks[0]] if sinks else None
-        return product, transport_cells
+            product = self._sink_product(droplet_of)
+        return states, product, totals[0]
 
     def _park_product(
         self,
@@ -655,28 +890,29 @@ class BiochipSimulator:
             if o != op_id and d.position is not None
         }
 
+        # The claiming footprints depend only on the window, not the
+        # candidate cell — hoist them out of the per-cell predicate (the
+        # ring search below probes many cells).
+        window_end = max(hold_until, finish + 1e-9)
+        claiming = []
+        for s in states.values():
+            if s.module is None:
+                continue
+            # A sole consumer's site is a fine waiting spot — the
+            # droplet is routed into that module at its start. With
+            # fan-out, shares for the *other* consumers would be
+            # trapped inside, so a neutral cell is required.
+            if s.op_id == op_id or (len(consumers) == 1 and s.op_id in consumers):
+                continue
+            if s.start < window_end and s.finish > finish:
+                claiming.append(s.module.footprint)
+
         def safe(cell: Point) -> bool:
             if cell in parked or cell in faulty:
                 return False
             if not (1 <= cell.x <= self.width and 1 <= cell.y <= self.height):
                 return False
-            for s in states.values():
-                if s.module is None:
-                    continue
-                # A sole consumer's site is a fine waiting spot — the
-                # droplet is routed into that module at its start. With
-                # fan-out, shares for the *other* consumers would be
-                # trapped inside, so a neutral cell is required.
-                if s.op_id == op_id or (
-                    len(consumers) == 1 and s.op_id in consumers
-                ):
-                    continue
-                covers_window = (
-                    s.start < max(hold_until, finish + 1e-9) and s.finish > finish
-                )
-                if covers_window and s.module.footprint.contains_point(cell):
-                    return False
-            return True
+            return not any(fp.contains_point(cell) for fp in claiming)
 
         assert droplet.position is not None
         if safe(droplet.position):
@@ -686,7 +922,24 @@ class BiochipSimulator:
         # parking aligned with the plan model is what lets those
         # transports replay instead of falling back to ad-hoc A*.
         goal = self._plan_parking_cell(op_id, consumers, safe)
-        if goal is None:
+        if goal is None and self._fast_router is not None:
+            # The ring search is pure in (start, obstacle signature);
+            # the event engine memoizes it — Monte-Carlo sweeps and
+            # checkpoint replays repeat the same searches run after run.
+            park_key = (
+                droplet.position,
+                frozenset(parked),
+                tuple(faulty),
+                tuple(claiming),
+            )
+            goal = self._park_memo.get(park_key)
+            if goal is None:
+                goal = self._nearest_safe_cell(droplet.position, safe)
+                if goal is not None:
+                    if len(self._park_memo) >= 65536:
+                        self._park_memo.clear()
+                    self._park_memo[park_key] = goal
+        elif goal is None:
             # BFS ring search for the nearest safe parking cell.
             goal = self._nearest_safe_cell(droplet.position, safe)
         if goal is None:
@@ -865,8 +1118,12 @@ class BiochipSimulator:
             and s.op_id != op_id
             and s.start <= query_t < s.finish
         ]
+        # The event engine routes on the packed BFS kernel (identical
+        # lengths/endpoints by construction; failures delegate back to
+        # the reference for byte-identical errors).
+        router = self._fast_router if self._fast_router is not None else self.router
         try:
-            route = self.router.route(
+            route = router.route(
                 droplet.position,
                 goal,
                 blocked_rects=active,
@@ -878,7 +1135,7 @@ class BiochipSimulator:
             # half-pitch aside (waive the inflation ring, then the parked
             # droplets themselves). Both degradations are logged.
             try:
-                route = self.router.route(
+                route = router.route(
                     droplet.position,
                     goal,
                     blocked_rects=active,
@@ -890,7 +1147,7 @@ class BiochipSimulator:
                     SimEvent(t, "transport", "fluidic spacing waived (tight array)", op_id)
                 )
             except RoutingError:
-                route = self.router.route(
+                route = router.route(
                     droplet.position,
                     goal,
                     blocked_rects=active,
