@@ -29,6 +29,7 @@ from repro.assay.protocols.pcr import (
     build_pcr_mixing_graph,
 )
 from repro.assay.synthetic import build_mix_tree, random_assay
+from repro.exec import CampaignJournal, SupervisedPool, TaskOutcome, load_journal
 from repro.fault.fti import FTIReport, compute_fti
 from repro.fault.injection import FaultInjector, estimate_survival_probability
 from repro.fault.tolerance import ToleranceAnalyzer
@@ -87,6 +88,8 @@ from repro.synthesis.schedule import Schedule
 from repro.synthesis.scheduler import alap_schedule, asap_schedule, list_schedule
 from repro.util.errors import (
     BindingError,
+    ExecutionError,
+    JournalError,
     PipelineError,
     PlacementError,
     ReconfigurationError,
@@ -94,6 +97,9 @@ from repro.util.errors import (
     RoutingError,
     ScheduleError,
     SimulationError,
+    UsageError,
+    WorkerCrashError,
+    WorkerTimeoutError,
 )
 
 __version__ = "1.0.0"
@@ -107,6 +113,8 @@ __all__ = [
     "Binding",
     "BindingError",
     "Box",
+    "CampaignJournal",
+    "ExecutionError",
     "FaultPattern",
     "FTIReport",
     "FaultAwareCost",
@@ -114,6 +122,7 @@ __all__ = [
     "GreedyPlacer",
     "Interval",
     "MicrofluidicArray",
+    "JournalError",
     "ModuleKind",
     "ModuleLibrary",
     "ModuleSpec",
@@ -159,14 +168,19 @@ __all__ = [
     "SimulatedAnnealingPlacer",
     "SimulationError",
     "SimulationReport",
+    "SupervisedPool",
     "SynthesisContext",
     "SynthesisFlow",
     "SynthesisResult",
+    "TaskOutcome",
     "TimeGrid",
     "ToleranceAnalyzer",
     "TransportAwareCost",
     "TwoStagePlacer",
     "TwoStageResult",
+    "UsageError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "alap_schedule",
     "asap_schedule",
     "brute_force_maximal_empty_rectangles",
@@ -180,6 +194,7 @@ __all__ = [
     "estimate_survival_probability",
     "find_maximal_empty_rectangles",
     "list_schedule",
+    "load_journal",
     "random_assay",
     "run_portfolio",
     "standard_library",

@@ -23,6 +23,22 @@ Ten commands cover the library's day-to-day uses without writing code:
 * ``experiments`` — the full paper-vs-measured report.
 * ``explore`` — architectural design-space exploration (binding
   strategy x concurrency cap frontier).
+
+Exit codes are distinct and scriptable:
+
+* ``0`` — success (every scenario/instance ok).
+* ``2`` — usage error (bad flags or flag combinations; also what
+  argparse itself exits with).
+* ``3`` — infeasible: the toolchain decided the problem has no
+  solution (synthesis/routing/verification/recovery failure).
+* ``4`` — a worker exceeded its ``--task-timeout`` deadline and the
+  retry budget.
+* ``5`` — a worker process crashed and the retry budget is exhausted.
+
+Parallel commands (``portfolio``, ``batch``, ``recover``) run on the
+supervised execution layer (:mod:`repro.exec`): ``--task-timeout`` and
+``--max-retries`` bound each task, and ``batch``/``recover --sweep``
+support crash-safe ``--journal`` files and ``--resume``.
 """
 
 from __future__ import annotations
@@ -30,10 +46,63 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro import __version__
 from repro.assay.catalog import BUNDLED_ASSAYS as PROTOCOLS
+from repro.exec import (
+    STATUS_CRASHED,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_RETRIED_OK,
+    STATUS_TIMEOUT,
+)
 from repro.placement.annealer import AnnealingParams
+from repro.util.errors import (
+    ReproError,
+    UsageError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+
+#: Documented exit statuses (see the module docstring).
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_INFEASIBLE = 3
+EXIT_TIMEOUT = 4
+EXIT_CRASHED = 5
+
+
+class CliExit(SystemExit):
+    """A ``SystemExit`` whose ``str()`` is the message, not the code.
+
+    ``raise SystemExit("msg")`` exits with status 1 and prints to
+    stderr; ``raise SystemExit(2)`` exits silently. This carries both:
+    ``.code`` is the numeric status, ``str(exc)`` stays the message (so
+    tests can ``pytest.raises(SystemExit, match=...)``).
+    """
+
+    def __init__(self, message: str, code: int = EXIT_USAGE) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _fail(message: str, code: int = EXIT_USAGE) -> CliExit:
+    """Print *message* to stderr and build the typed exit to raise."""
+    print(message, file=sys.stderr)
+    return CliExit(message, code)
+
+
+def _exit_code(statuses) -> int:
+    """Map scenario statuses to the command's exit code (worst wins)."""
+    statuses = set(statuses)
+    if STATUS_CRASHED in statuses:
+        return EXIT_CRASHED
+    if STATUS_TIMEOUT in statuses:
+        return EXIT_TIMEOUT
+    if statuses - {STATUS_OK, STATUS_RETRIED_OK}:
+        return EXIT_INFEASIBLE
+    return EXIT_OK
 
 
 def _params(fast: bool) -> AnnealingParams:
@@ -101,8 +170,8 @@ def cmd_place(args: argparse.Namespace) -> int:
     from repro.viz.ascii_art import render_placement
 
     if args.cross_check and not args.incremental:
-        raise SystemExit(
-            "place: --cross-check verifies the incremental path and "
+        raise UsageError(
+            "--cross-check verifies the incremental path and "
             "cannot be combined with --no-incremental"
         )
     graph, binding = PROTOCOLS[args.protocol]()
@@ -137,7 +206,7 @@ def cmd_route(args: argparse.Namespace) -> int:
     from repro.util.errors import RoutingError
 
     if args.reference and args.cross_check:
-        raise SystemExit("route: --reference and --cross-check are mutually exclusive")
+        raise UsageError("--reference and --cross-check are mutually exclusive")
     graph, binding = PROTOCOLS[args.protocol]()
     flow = SynthesisFlow(
         placer=_placer(args),
@@ -164,7 +233,7 @@ def cmd_route(args: argparse.Namespace) -> int:
               "(fluidic spacing, module footprints, faulty cells)")
     except RoutingError as exc:
         print(f"verification FAILED: {exc}")
-        return 1
+        return EXIT_INFEASIBLE
     print()
     print(result.summary())
     mode = "reference" if args.reference else (
@@ -182,8 +251,8 @@ def cmd_route(args: argparse.Namespace) -> int:
             f"WARNING: {plan.failed_count} net(s) UNROUTED; the simulator "
             "will fall back to per-droplet A* for them"
         )
-        return 1
-    return 0
+        return EXIT_INFEASIBLE
+    return EXIT_OK
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -194,8 +263,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     engine = "stepped" if args.stepped else "event"
     if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
-        raise SystemExit(
-            f"simulate: --fault-time must be in [0, 1), got {args.fault_time}"
+        raise UsageError(
+            f"--fault-time must be in [0, 1), got {args.fault_time}"
         )
     graph, binding = PROTOCOLS[args.protocol]()
     flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
@@ -257,12 +326,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"engine [{engine}]: best of {max(1, args.reps)} runs "
             f"{best * 1000:.2f} ms = {queue_events / best:,.0f} events/s"
         )
-    return 0 if report.completed else 1
+    return EXIT_OK if report.completed else EXIT_INFEASIBLE
 
 
 def cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.pipeline import PortfolioSpec, run_portfolio
-    from repro.util.errors import PipelineError
     from repro.util.tables import format_table
 
     graph, binding = PROTOCOLS[args.protocol]()
@@ -281,19 +349,18 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
             "and will not appear in the profile (use --jobs 1)",
             file=sys.stderr,
         )
-    try:
-        result = _profiled(
-            args.profile,
-            lambda: run_portfolio(
-                spec, n=args.n, seed=args.seed, objective=args.objective,
-                jobs=args.jobs,
-            ),
-        )
-    except (PipelineError, ValueError) as exc:
-        raise SystemExit(f"portfolio: {exc}") from None
+    result = _profiled(
+        args.profile,
+        lambda: run_portfolio(
+            spec, n=args.n, seed=args.seed, objective=args.objective,
+            jobs=args.jobs, task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+        ),
+    )
+    code = _exit_code(f["status"] for f in result.failures)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
-        return 0
+        return code
     print(
         format_table(
             ("instance", "seed", args.objective, "makespan", "cells", "FTI"),
@@ -307,42 +374,46 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
         f"best of {len(result.outcomes)}, jobs={result.jobs}, "
         f"{result.wall_s:.1f} s wall)"
     )
+    for f in result.failures:
+        print(f"FAILED {f['key']}: {f['status']} ({f['error']})")
     print()
     print(result.winner_result.summary())
-    return 0
+    return code
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.pipeline import BUILTIN_FAULT_PATTERNS, BatchScenarioRunner
-    from repro.util.errors import PipelineError
 
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     unknown = [p for p in protocols if p not in PROTOCOLS]
     if unknown:
-        raise SystemExit(
+        raise UsageError(
             f"unknown protocol(s) {unknown}; choose from {sorted(PROTOCOLS)}"
         )
     faults = [f.strip() for f in args.faults.split(",") if f.strip()]
     bad = [f for f in faults if f not in BUILTIN_FAULT_PATTERNS]
     if bad:
-        raise SystemExit(
+        raise UsageError(
             f"unknown fault pattern(s) {bad}; "
             f"choose from {sorted(BUILTIN_FAULT_PATTERNS)}"
         )
-    try:
-        runner = BatchScenarioRunner(
-            assays={name: PROTOCOLS[name]() for name in protocols},
-            fault_patterns=[BUILTIN_FAULT_PATTERNS[f] for f in faults],
-            annealing=_params(args.fast),
-            max_concurrent_ops=args.max_concurrent,
-            route=args.route,
-            verify=args.verify,
-            seed=args.seed,
-            sim_engine=args.sim_engine,
-        )
-        report = runner.run(jobs=args.jobs)
-    except (PipelineError, ValueError) as exc:
-        raise SystemExit(f"batch: {exc}") from None
+    runner = BatchScenarioRunner(
+        assays={name: PROTOCOLS[name]() for name in protocols},
+        fault_patterns=[BUILTIN_FAULT_PATTERNS[f] for f in faults],
+        annealing=_params(args.fast),
+        max_concurrent_ops=args.max_concurrent,
+        route=args.route,
+        verify=args.verify,
+        seed=args.seed,
+        sim_engine=args.sim_engine,
+    )
+    report = runner.run(
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        journal_path=args.journal,
+        resume_from=args.resume,
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -352,7 +423,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"{report.ok_count}/{len(report.records)} scenarios ok "
             f"(jobs={report.jobs}, {report.wall_s:.1f} s wall)"
         )
-    return 0 if report.ok_count == len(report.records) else 1
+    return _exit_code(r.status for r in report.records)
 
 
 def _recovery_timeline(outcome) -> str:
@@ -386,56 +457,69 @@ def cmd_recover(args: argparse.Namespace) -> int:
     from repro.recovery import MonteCarloRecoverySweep, OnlineRecoveryEngine
     from repro.recovery.engine import FAULT_TARGETS, pick_fault_cell
     from repro.synthesis.flow import SynthesisFlow
-    from repro.util.errors import RecoveryError, ReproError
 
     protocols = sorted(PROTOCOLS) if args.protocol == "all" else [args.protocol]
     if args.target is not None and args.target not in FAULT_TARGETS:
-        raise SystemExit(
-            f"recover: unknown --target {args.target!r}; choose from {FAULT_TARGETS}"
+        raise UsageError(
+            f"unknown --target {args.target!r}; choose from {FAULT_TARGETS}"
         )
     if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
         # A fraction >= 1 checkpoints after the assay finished: nothing
         # is pending, so "recovery" would succeed vacuously.
-        raise SystemExit(
-            f"recover: --fault-time must be in [0, 1), got {args.fault_time}"
+        raise UsageError(
+            f"--fault-time must be in [0, 1), got {args.fault_time}"
+        )
+    if not args.sweep and (args.journal or args.resume):
+        raise UsageError(
+            "--journal/--resume journal the Monte-Carlo grid and "
+            "need --sweep"
         )
 
     if args.sweep:
         if args.cell is not None:
-            raise SystemExit(
-                "recover: --cell pins one explicit fault; it cannot be "
+            raise UsageError(
+                "--cell pins one explicit fault; it cannot be "
                 "combined with --sweep (use --target/--fault-time to "
                 "narrow the grid instead)"
             )
-        try:
-            sweep = MonteCarloRecoverySweep(
-                assays=protocols,
-                time_fractions=(
-                    (args.fault_time,) if args.fault_time is not None
-                    else (0.25, 0.5, 0.75)
-                ),
-                targets=(
-                    (args.target,) if args.target is not None
-                    else ("pending-module", "street")
-                ),
-                annealing=_params(args.fast),
-                recovery_annealing=(
-                    AnnealingParams.fast() if args.fast
-                    else AnnealingParams.low_temperature()
-                ),
-                seed=args.seed,
-                sim_engine=args.sim_engine,
-            )
-            report = sweep.run(jobs=args.jobs)
-        except (RecoveryError, ValueError) as exc:
-            raise SystemExit(f"recover: {exc}") from None
+        sweep = MonteCarloRecoverySweep(
+            assays=protocols,
+            time_fractions=(
+                (args.fault_time,) if args.fault_time is not None
+                else (0.25, 0.5, 0.75)
+            ),
+            targets=(
+                (args.target,) if args.target is not None
+                else ("pending-module", "street")
+            ),
+            annealing=_params(args.fast),
+            recovery_annealing=(
+                AnnealingParams.fast() if args.fast
+                else AnnealingParams.low_temperature()
+            ),
+            seed=args.seed,
+            sim_engine=args.sim_engine,
+        )
+        report = sweep.run(
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            journal_path=args.journal,
+            resume_from=args.resume,
+        )
         if args.json:
             print(json.dumps(report.to_dict(), indent=2))
         else:
             print(report.table_text())
             print()
             print(report.summary())
-        return 0 if report.recovered_count == len(report.records) else 1
+        # An unrecovered scenario the engine *decided* counts as
+        # infeasible; lost-worker statuses pass through unchanged.
+        return _exit_code(
+            STATUS_INFEASIBLE if not r.recovered and r.status == STATUS_OK
+            else r.status
+            for r in report.records
+        )
 
     fault_fraction = args.fault_time if args.fault_time is not None else 0.5
     target = args.target if args.target is not None else "pending-module"
@@ -447,7 +531,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
         sim_engine=args.sim_engine,
     )
     outcomes = {}
-    exit_code = 0
+    exit_code = EXIT_OK
     for name in protocols:
         graph, binding = PROTOCOLS[name]()
         flow = SynthesisFlow(
@@ -470,7 +554,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
             )
         except ReproError as exc:
             print(f"{name}: recovery errored: {type(exc).__name__}: {exc}")
-            exit_code = 1
+            exit_code = EXIT_INFEASIBLE
             continue
         outcomes[name] = outcome
         if not args.json:
@@ -479,7 +563,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
             print(outcome.summary())
             print()
         if not outcome.recovered:
-            exit_code = 1
+            exit_code = EXIT_INFEASIBLE
     if args.json:
         print(json.dumps({n: o.to_dict() for n, o in outcomes.items()}, indent=2))
     elif outcomes:
@@ -524,6 +608,31 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"{p.makespan_s:g} s, {p.area_cells} cells, FTI {p.fti:.3f}"
         )
     return 0
+
+
+def _add_supervision_args(p: argparse.ArgumentParser) -> None:
+    """Supervised-execution knobs shared by the parallel commands."""
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline; a hung worker is killed and the task "
+             "retried (exit 4 once retries are exhausted)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per task for crashed or deadline-killed "
+             "workers (exit 5 once a crashed task exhausts it)",
+    )
+    if p.prog.endswith(("batch", "recover")):
+        p.add_argument(
+            "--journal", type=str, default=None, metavar="FILE",
+            help="append every completed scenario to this crash-safe "
+                 "JSONL journal (one fsynced record per scenario)",
+        )
+        p.add_argument(
+            "--resume", type=str, default=None, metavar="FILE",
+            help="skip scenarios already recorded in this journal; the "
+                 "resumed report is bit-identical to an uninterrupted run",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -672,6 +781,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true",
             help="emit the machine-readable report as JSON",
         )
+    for p in (portfolio, batch):
+        _add_supervision_args(p)
 
     recover = sub.add_parser(
         "recover",
@@ -715,6 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the machine-readable report as JSON",
     )
+    _add_supervision_args(recover)
     recover.set_defaults(func=cmd_recover)
 
     sweep = sub.add_parser("sweep", help="Table 2 beta sweep")
@@ -748,8 +860,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; every command shares one error handler.
+
+    Commands raise the :class:`~repro.util.errors.ReproError` hierarchy
+    freely; the mapping to documented exit codes (module docstring)
+    happens exactly once, here.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        resume = getattr(args, "resume", None)
+        if resume is not None and not Path(resume).is_file():
+            raise UsageError(f"--resume journal not found: {resume}")
+        return args.func(args)
+    except UsageError as exc:
+        raise _fail(f"{args.command}: {exc}", EXIT_USAGE) from None
+    except WorkerTimeoutError as exc:
+        raise _fail(f"{args.command}: {exc}", EXIT_TIMEOUT) from None
+    except WorkerCrashError as exc:
+        raise _fail(f"{args.command}: {exc}", EXIT_CRASHED) from None
+    except ReproError as exc:
+        raise _fail(f"{args.command}: {exc}", EXIT_INFEASIBLE) from None
+    except ValueError as exc:
+        raise _fail(f"{args.command}: {exc}", EXIT_USAGE) from None
 
 
 if __name__ == "__main__":

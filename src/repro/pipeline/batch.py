@@ -5,9 +5,18 @@ combination, then replays only the fault-dependent suffix (routing,
 optional sim-verify) per fault pattern — the fault-independent prefix
 (bind, schedule, place, FTI) is computed once and shared through
 :meth:`SynthesisContext.fork`. Combinations are independent, so the
-sweep itself parallelizes over processes with ``jobs > 1``; per-combo
-seeds are derived up front from the batch seed, keeping every record
-identical for any worker count.
+sweep itself parallelizes over a :class:`repro.exec.SupervisedPool`
+with ``jobs > 1``; per-combo seeds are derived up front from the batch
+seed, keeping every record identical for any worker count. A combo
+whose worker crashes or overruns its deadline past the retry budget
+still appears in the report — one structured failure record per
+scenario, carrying the originating scenario key — so a sweep returns
+partial results instead of raising.
+
+Campaigns can journal each completed scenario to a crash-safe JSONL
+file (:class:`repro.exec.CampaignJournal`) and later resume from it:
+already-journaled scenario keys are skipped and their records loaded
+back, producing a report bit-identical to an uninterrupted run.
 
 All output is machine-readable: :meth:`BatchReport.to_dict` nests the
 ``to_dict()`` of every result dataclass and round-trips through
@@ -18,10 +27,17 @@ from __future__ import annotations
 
 import time
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.assay.graph import SequencingGraph
+from repro.exec import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    CampaignJournal,
+    NullJournal,
+    SupervisedPool,
+    load_journal,
+)
 from repro.geometry import Point
 from repro.pipeline.context import SynthesisContext
 from repro.pipeline.pipeline import build_default_pipeline
@@ -32,6 +48,15 @@ from repro.synthesis.flow import SynthesisResult
 from repro.util.errors import PipelineError, ReproError
 from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
 from repro.util.tables import format_table
+
+#: Journal record kind written by :class:`BatchScenarioRunner`.
+JOURNAL_KIND = "batch-scenario"
+
+
+def scenario_key(assay: str, array_size: tuple[int, int] | None, pattern: str) -> str:
+    """Stable identity of one grid cell, e.g. ``pcr|auto|center``."""
+    size = "auto" if array_size is None else f"{array_size[0]}x{array_size[1]}"
+    return f"{assay}|{size}|{pattern}"
 
 
 @dataclass(frozen=True)
@@ -122,6 +147,15 @@ class _ComboSpec:
     route: bool
     verify: bool
     sim_engine: str = "event"
+    #: Scenario keys already journaled — the worker skips these
+    #: patterns (the shared prefix still runs once if anything is left).
+    skip_keys: tuple[str, ...] = ()
+
+    def pattern_keys(self) -> list[str]:
+        return [
+            scenario_key(self.assay, self.array_size, p.name)
+            for p in self.fault_patterns
+        ]
 
 
 @dataclass
@@ -138,6 +172,32 @@ class ScenarioRecord:
     upstream_reused: bool
     error: str | None = None
     result: SynthesisResult | None = None
+    #: Supervision status: ``ok`` / ``infeasible`` for scenarios the
+    #: pipeline decided, ``timeout`` / ``crashed`` when the combo's
+    #: worker was lost past the retry budget.
+    status: str = STATUS_OK
+    #: Raw ``result`` dict for records reloaded from a journal (a
+    #: :class:`SynthesisResult` cannot be rebuilt from its dict).
+    result_dict: dict | None = None
+
+    @property
+    def key(self) -> str:
+        """The scenario's stable journal/resume identity."""
+        return scenario_key(self.assay, self.array_size, self.fault_pattern)
+
+    def _result_dict(self) -> dict | None:
+        if self.result is not None:
+            return self.result.to_dict()
+        return self.result_dict
+
+    def metric(self, *path: str):
+        """A result metric (e.g. ``("routing", "routability")``) or None."""
+        node = self._result_dict()
+        for part in path:
+            if not isinstance(node, dict):
+                return None
+            node = node.get(part)
+        return node
 
     def to_dict(self) -> dict:
         return {
@@ -147,9 +207,28 @@ class ScenarioRecord:
             "faulty_cells": [[p.x, p.y] for p in self.faulty_cells],
             "ok": self.ok,
             "upstream_reused": self.upstream_reused,
+            "status": self.status,
             "error": self.error,
-            "result": self.result.to_dict() if self.result is not None else None,
+            "result": self._result_dict(),
         }
+
+    @classmethod
+    def from_journal(cls, record: dict) -> ScenarioRecord:
+        """Rebuild a journaled record (``result`` stays a raw dict)."""
+        size = record.get("array_size")
+        return cls(
+            assay=record["assay"],
+            array_size=tuple(size) if size else None,
+            fault_pattern=record["fault_pattern"],
+            faulty_cells=tuple(Point(x, y) for x, y in record["faulty_cells"]),
+            ok=record["ok"],
+            upstream_reused=record["upstream_reused"],
+            error=record.get("error"),
+            status=record.get(
+                "status", STATUS_OK if record["ok"] else STATUS_INFEASIBLE
+            ),
+            result_dict=record.get("result"),
+        )
 
 
 @dataclass
@@ -179,18 +258,18 @@ class BatchReport:
         """Human-readable sweep summary."""
         rows = []
         for r in self.records:
-            res = r.result
+            makespan = r.metric("makespan_s")
+            area = r.metric("area_cells")
+            routability = r.metric("routing", "routability")
             rows.append(
                 (
                     r.assay,
                     "auto" if r.array_size is None else f"{r.array_size[0]}x{r.array_size[1]}",
                     r.fault_pattern,
                     "ok" if r.ok else f"FAILED ({r.error})",
-                    f"{res.makespan:g}" if res else "-",
-                    res.area_cells if res else "-",
-                    f"{res.routability:.0%}"
-                    if res and res.routability is not None
-                    else "-",
+                    f"{makespan:g}" if makespan is not None else "-",
+                    area if area is not None else "-",
+                    f"{routability:.0%}" if routability is not None else "-",
                     "yes" if r.upstream_reused else "no",
                 )
             )
@@ -231,7 +310,10 @@ def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
     except ReproError as exc:  # the whole combo is unsynthesizable
         prefix_error = f"{type(exc).__name__}: {exc}"
 
+    skip = set(spec.skip_keys)
     for i, pattern in enumerate(spec.fault_patterns):
+        if scenario_key(spec.assay, spec.array_size, pattern.name) in skip:
+            continue  # already journaled; the resume loads its record
         if prefix_error is not None:
             records.append(
                 ScenarioRecord(
@@ -243,6 +325,7 @@ def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
                     # Nothing upstream completed, so nothing was reused.
                     upstream_reused=False,
                     error=prefix_error,
+                    status=STATUS_INFEASIBLE,
                 )
             )
             continue
@@ -272,6 +355,7 @@ def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
                 upstream_reused=i > 0,
                 error=error,
                 result=result,
+                status=STATUS_OK if error is None else STATUS_INFEASIBLE,
             )
         )
     return records
@@ -363,21 +447,95 @@ class BatchScenarioRunner:
                 )
         return specs
 
-    def run(self, jobs: int = 1) -> BatchReport:
-        """Execute the whole grid; ``jobs>1`` parallelizes over combos."""
+    def run(
+        self,
+        jobs: int = 1,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        chaos=None,
+        journal_path=None,
+        resume_from=None,
+    ) -> BatchReport:
+        """Execute the whole grid; ``jobs>1`` parallelizes over combos.
+
+        *journal_path* appends every completed (decided) scenario to a
+        crash-safe JSONL journal as combos finish; *resume_from* loads
+        such a journal and skips — then reloads — every journaled
+        scenario key. Because per-combo seeds are pre-derived from the
+        batch seed, a resumed report is bit-identical to an
+        uninterrupted run. A combo lost to worker crashes or deadline
+        overruns past *max_retries* contributes one structured failure
+        record per scenario (``status`` of ``crashed`` / ``timeout``);
+        those are never journaled, so a resume retries them.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        done = load_journal(resume_from, kind=JOURNAL_KIND) if resume_from else {}
         specs = self._combo_specs()
+        run_specs = []
+        for spec in specs:
+            skip = tuple(k for k in spec.pattern_keys() if k in done)
+            if len(skip) < len(spec.fault_patterns):
+                run_specs.append(replace(spec, skip_keys=skip))
+
         t0 = time.perf_counter()
-        if jobs == 1 or len(specs) == 1:
-            per_combo = [_run_combo(spec) for spec in specs]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-                per_combo = list(pool.map(_run_combo, specs))
-        report = BatchReport(
+        computed: dict[str, ScenarioRecord] = {}
+        with (CampaignJournal(journal_path) if journal_path else NullJournal()) as journal:
+
+            def on_outcome(out) -> None:
+                if not out.ok:
+                    return
+                for rec in out.value:
+                    # Crash/timeout records never reach here (out.value
+                    # exists only when the combo ran to completion), so
+                    # everything journaled is a decided scenario.
+                    journal.append(JOURNAL_KIND, rec.key, rec.to_dict())
+
+            pool = SupervisedPool(
+                jobs=min(jobs, len(run_specs)) if run_specs else 1,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                chaos=chaos,
+            )
+            outs = pool.map(
+                _run_combo,
+                run_specs,
+                keys=[scenario_key(s.assay, s.array_size, "*") for s in run_specs],
+                on_outcome=on_outcome,
+            )
+        for spec, out in zip(run_specs, outs):
+            if out.ok:
+                for rec in out.value:
+                    computed[rec.key] = rec
+            else:
+                skip = set(spec.skip_keys)
+                for pattern in spec.fault_patterns:
+                    key = scenario_key(spec.assay, spec.array_size, pattern.name)
+                    if key in skip:
+                        continue
+                    computed[key] = ScenarioRecord(
+                        assay=spec.assay,
+                        array_size=spec.array_size,
+                        fault_pattern=pattern.name,
+                        faulty_cells=(),
+                        ok=False,
+                        upstream_reused=False,
+                        error=out.error,
+                        status=out.status,
+                    )
+
+        records = []
+        for spec in specs:
+            for pattern in spec.fault_patterns:
+                key = scenario_key(spec.assay, spec.array_size, pattern.name)
+                if key in computed:
+                    records.append(computed[key])
+                else:
+                    records.append(ScenarioRecord.from_journal(done[key]))
+        return BatchReport(
             seed=self.seed,
             jobs=jobs,
             wall_s=time.perf_counter() - t0,
-            records=[rec for combo in per_combo for rec in combo],
+            records=records,
         )
-        return report

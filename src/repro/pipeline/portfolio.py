@@ -3,9 +3,10 @@
 Simulated-annealing placement is stochastic: different seeds land on
 different area/FTI/makespan trade-offs. The classic remedy is a
 *portfolio* — run the same pipeline N times with independent seeds and
-keep the winner under a chosen objective. This module does that with
-``concurrent.futures.ProcessPoolExecutor`` so the N instances use every
-available core, while staying bit-for-bit deterministic:
+keep the winner under a chosen objective. This module does that on the
+supervised execution layer (:class:`repro.exec.SupervisedPool`) so the
+N instances use every available core and survive worker crashes or
+deadline overruns, while staying bit-for-bit deterministic:
 
 * instance seeds are spawned from the flow seed up front
   (:func:`instance_seeds`) — instance *i*'s stream never depends on
@@ -23,15 +24,15 @@ from __future__ import annotations
 
 import time
 from collections.abc import Mapping
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.assay.graph import SequencingGraph
+from repro.exec import STATUS_INFEASIBLE, SupervisedPool
 from repro.geometry import Point
 from repro.placement.annealer import AnnealingParams
 from repro.synthesis.binder import ResourceBinder
 from repro.synthesis.flow import SynthesisFlow, SynthesisResult
-from repro.util.errors import PipelineError
+from repro.util.errors import PipelineError, WorkerCrashError, WorkerTimeoutError
 from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
 
 #: Selectable objectives: name -> (extractor, sense). ``min`` objectives
@@ -192,6 +193,10 @@ class PortfolioResult:
     wall_s: float
     outcomes: list[InstanceOutcome] = field(default_factory=list)
     winner_index: int = 0
+    #: Structured :class:`~repro.exec.TaskOutcome` dicts for instances
+    #: that produced no result (infeasible, timed out, crashed after
+    #: retries). Empty on a healthy run.
+    failures: list[dict] = field(default_factory=list)
 
     @property
     def winner(self) -> InstanceOutcome:
@@ -208,6 +213,7 @@ class PortfolioResult:
             "wall_s": self.wall_s,
             "winner_index": self.winner_index,
             "instances": [o.to_dict() for o in self.outcomes],
+            "failures": list(self.failures),
         }
 
     def table_rows(self) -> list[tuple]:
@@ -235,12 +241,20 @@ def run_portfolio(
     seed: int = 7,
     objective: str = "area",
     jobs: int = 1,
+    *,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    chaos=None,
 ) -> PortfolioResult:
     """Run a best-of-*n* portfolio and select the winner.
 
     ``jobs=1`` executes in-process (no pool); ``jobs>1`` fans instances
-    out over a ``ProcessPoolExecutor``. The outcome — every instance's
-    metrics and the selected winner — is identical either way.
+    out over a :class:`~repro.exec.SupervisedPool`. The outcome — every
+    instance's metrics and the selected winner — is identical either
+    way: a crashed or deadline-killed worker is retried with the same
+    seed, and an instance that still fails after ``max_retries`` lands
+    in ``PortfolioResult.failures`` instead of poisoning the rest. Only
+    when *every* instance fails does the portfolio raise.
     """
     if objective not in OBJECTIVES:
         raise PipelineError(
@@ -264,25 +278,41 @@ def run_portfolio(
     tasks = [(spec, s) for s in seeds]
 
     t0 = time.perf_counter()
-    if jobs == 1 or n == 1:
-        results = [_run_instance(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, n)) as pool:
-            results = list(pool.map(_run_instance, tasks))
+    pool = SupervisedPool(
+        jobs=min(jobs, n), task_timeout=task_timeout,
+        max_retries=max_retries, chaos=chaos,
+    )
+    task_outcomes = pool.map(
+        _run_instance, tasks, keys=[f"instance-{i}" for i in range(n)]
+    )
     wall_s = time.perf_counter() - t0
 
-    outcomes = [
-        InstanceOutcome(
-            index=i,
-            seed=seeds[i],
-            objective_value=objective_value(result, objective),
-            result=result,
+    outcomes = []
+    failures = []
+    for i, out in enumerate(task_outcomes):
+        if out.ok:
+            outcomes.append(
+                InstanceOutcome(
+                    index=i,
+                    seed=seeds[i],
+                    objective_value=objective_value(out.value, objective),
+                    result=out.value,
+                )
+            )
+        else:
+            failures.append(out.to_dict())
+    if not outcomes:
+        statuses = {f["status"] for f in failures}
+        detail = "; ".join(
+            f"{f['key']}: {f['status']} ({f['error']})" for f in failures
         )
-        for i, result in enumerate(results)
-    ]
+        if statuses == {STATUS_INFEASIBLE}:
+            raise PipelineError(f"all {n} portfolio instances infeasible: {detail}")
+        exc = WorkerCrashError if "crashed" in statuses else WorkerTimeoutError
+        raise exc(f"all {n} portfolio instances failed: {detail}")
     winner_index = min(
         range(len(outcomes)),
-        key=lambda i: (_sort_key(outcomes[i].objective_value, objective), i),
+        key=lambda i: (_sort_key(outcomes[i].objective_value, objective), outcomes[i].index),
     )
     return PortfolioResult(
         objective=objective,
@@ -290,4 +320,5 @@ def run_portfolio(
         wall_s=wall_s,
         outcomes=outcomes,
         winner_index=winner_index,
+        failures=failures,
     )

@@ -37,11 +37,14 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 from repro.placement.model import PlacedModule, Placement
-from repro.util.errors import PlacementError
+from repro.util.errors import CrossCheckError, PlacementError
 
-
-class CrossCheckError(PlacementError):
-    """An incremental delta disagreed with the full-recompute reference."""
+__all__ = [
+    "CrossCheckError",  # re-exported; the class lives in repro.util.errors
+    "IncrementalCostEvaluator",
+    "ModuleUpdate",
+    "Move",
+]
 
 
 @dataclass(frozen=True, slots=True)

@@ -432,6 +432,10 @@ class OnlineRecoveryEngine:
                 raise RecoveryError(
                     f"nominal execution fails before any fault: {exc}"
                 ) from exc
+        else:
+            # Caller-provided checkpoints cross process/serialization
+            # boundaries; reject corrupted or truncated ones up front.
+            checkpoint.validate(result.schedule)
 
         def failed(reason: str, **extra) -> RecoveryOutcome:
             return RecoveryOutcome(

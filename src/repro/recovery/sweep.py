@@ -10,19 +10,29 @@ Execution mirrors :mod:`repro.pipeline.batch`: one worker unit per
 assay (the nominal synthesis — the fault-independent prefix — is
 computed once and reused by every scenario of that assay, and the
 checkpoint at each arrival time is shared across fault patterns),
-fanned across a ``ProcessPoolExecutor`` with ``jobs > 1``. Per-assay
-and per-scenario seeds are derived up front from the sweep seed, so the
-report is bit-identical for any worker count (property-tested).
+fanned across a :class:`repro.exec.SupervisedPool` with ``jobs > 1``.
+Per-assay and per-scenario seeds are derived up front from the sweep
+seed, so the report is bit-identical for any worker count
+(property-tested). An assay block lost to worker crashes or deadline
+overruns past the retry budget still contributes one structured
+failure record per scenario; completed scenarios can be journaled to a
+crash-safe JSONL file and resumed without recomputation.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.assay.catalog import BUNDLED_ASSAYS, build_assay
+from repro.exec import (
+    STATUS_OK,
+    CampaignJournal,
+    NullJournal,
+    SupervisedPool,
+    load_journal,
+)
 from repro.geometry import Point
 from repro.pipeline.context import SynthesisContext
 from repro.pipeline.pipeline import build_default_pipeline
@@ -36,6 +46,14 @@ from repro.recovery.engine import (
 from repro.util.errors import RecoveryError, ReproError
 from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
 from repro.util.tables import format_table
+
+#: Journal record kind written by :class:`MonteCarloRecoverySweep`.
+JOURNAL_KIND = "recovery-scenario"
+
+
+def sweep_key(assay: str, time_fraction: float, target: str) -> str:
+    """Stable identity of one sweep cell, e.g. ``pcr|0.5|street``."""
+    return f"{assay}|{time_fraction:g}|{target}"
 
 
 @dataclass(frozen=True)
@@ -51,6 +69,17 @@ class _SweepSpec:
     recovery_annealing: AnnealingParams | None
     max_concurrent_ops: int | None
     sim_engine: str = "event"
+    #: Scenario keys already journaled — the worker skips these while
+    #: still consuming their pre-derived seeds, so the remaining
+    #: scenarios use exactly the seeds an uninterrupted run would.
+    skip_keys: tuple[str, ...] = ()
+
+    def scenario_keys(self) -> list[str]:
+        return [
+            sweep_key(self.assay, f, t)
+            for f in self.time_fractions
+            for t in self.targets
+        ]
 
 
 @dataclass
@@ -73,6 +102,15 @@ class RecoveryRecord:
     #: True when the assay's nominal synthesis was reused from a
     #: sibling scenario rather than recomputed.
     upstream_reused: bool = False
+    #: Supervision status: ``ok`` for scenarios the engine decided
+    #: (recovered or not), ``timeout`` / ``crashed`` when the assay
+    #: block's worker was lost past the retry budget.
+    status: str = STATUS_OK
+
+    @property
+    def key(self) -> str:
+        """The scenario's stable journal/resume identity."""
+        return sweep_key(self.assay, self.time_fraction, self.target)
 
     def to_dict(self) -> dict:
         return {
@@ -92,7 +130,30 @@ class RecoveryRecord:
             "rerouted_nets": self.rerouted_nets,
             "reused_epochs": self.reused_epochs,
             "upstream_reused": self.upstream_reused,
+            "status": self.status,
         }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> RecoveryRecord:
+        """Rebuild a journaled record (all fields are scalars)."""
+        cell = record.get("fault_cell")
+        return cls(
+            assay=record["assay"],
+            time_fraction=record["time_fraction"],
+            target=record["target"],
+            fault_time_s=record["fault_time_s"],
+            fault_cell=Point(*cell) if cell else None,
+            recovered=record["recovered"],
+            reason=record.get("reason"),
+            makespan_penalty_s=record["makespan_penalty_s"],
+            replace_s=record["replace_s"],
+            reroute_s=record["reroute_s"],
+            recovery_s=record["recovery_s"],
+            rerouted_nets=record["rerouted_nets"],
+            reused_epochs=record["reused_epochs"],
+            upstream_reused=record["upstream_reused"],
+            status=record.get("status", STATUS_OK),
+        )
 
 
 @dataclass
@@ -171,7 +232,14 @@ class RecoverySweepReport:
 
 def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
     """One assay's block: synthesize the nominal configuration once,
-    then recover it from every (arrival x target) scenario."""
+    then recover it from every (arrival x target) scenario.
+
+    Scenario keys in ``spec.skip_keys`` are skipped (the resume loads
+    their journaled records) — but their pre-derived seeds are still
+    consumed, so the computed scenarios draw exactly the seeds an
+    uninterrupted run would.
+    """
+    skip = set(spec.skip_keys)
     graph, binding = build_assay(spec.assay)
     rng = ensure_rng(spec.seed)
     placer = SimulatedAnnealingPlacer(params=spec.annealing, seed=spawn_rng(rng))
@@ -194,6 +262,7 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
             )
             for f in spec.time_fractions
             for t in spec.targets
+            if sweep_key(spec.assay, f, t) not in skip
         ]
 
     engine = OnlineRecoveryEngine(
@@ -201,9 +270,17 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
     )
     makespan = result.schedule.makespan
     seeds = iter(spec.scenario_seeds)
-    first = True
+    sidx = 0  # position in the block; 0 computed the nominal synthesis
     for fraction in spec.time_fractions:
         fault_time = fraction * makespan
+        wanted = [t for t in spec.targets if sweep_key(spec.assay, fraction, t) not in skip]
+        if not wanted:
+            # Whole arrival skipped: no checkpoint needed, but the
+            # scenarios' seeds are still consumed positionally.
+            for _ in spec.targets:
+                next(seeds)
+                sidx += 1
+            continue
         checkpoint = None
         try:
             checkpoint = engine.checkpoint_of(result, fault_time)
@@ -211,6 +288,10 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
             checkpoint_error = f"{type(exc).__name__}: {exc}"
         for target in spec.targets:
             scenario_seed = next(seeds)
+            reused = sidx > 0
+            sidx += 1
+            if target not in wanted:
+                continue
             if checkpoint is None:
                 records.append(
                     RecoveryRecord(
@@ -218,10 +299,9 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
                         fault_time_s=fault_time, fault_cell=None, recovered=False,
                         reason=checkpoint_error, makespan_penalty_s=0.0,
                         replace_s=0.0, reroute_s=0.0, recovery_s=0.0,
-                        rerouted_nets=0, reused_epochs=0, upstream_reused=not first,
+                        rerouted_nets=0, reused_epochs=0, upstream_reused=reused,
                     )
                 )
-                first = False
                 continue
             scenario_rng = ensure_rng(scenario_seed)
             cell = pick_fault_cell(result, checkpoint, target, rng=scenario_rng)
@@ -243,10 +323,9 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
                     recovery_s=outcome.recovery_s,
                     rerouted_nets=outcome.rerouted_nets,
                     reused_epochs=outcome.reused_epochs,
-                    upstream_reused=not first,
+                    upstream_reused=reused,
                 )
             )
-            first = False
     return records
 
 
@@ -324,20 +403,88 @@ class MonteCarloRecoverySweep:
             )
         return specs
 
-    def run(self, jobs: int = 1) -> RecoverySweepReport:
-        """Execute the grid; ``jobs > 1`` parallelizes over assays."""
+    def run(
+        self,
+        jobs: int = 1,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        chaos=None,
+        journal_path=None,
+        resume_from=None,
+    ) -> RecoverySweepReport:
+        """Execute the grid; ``jobs > 1`` parallelizes over assays.
+
+        *journal_path* appends every decided scenario to a crash-safe
+        JSONL journal; *resume_from* skips — then reloads — journaled
+        scenario keys, bit-identical to an uninterrupted run (skipped
+        scenarios still consume their pre-derived seeds). An assay
+        block lost past *max_retries* yields one failure record per
+        scenario (``status`` ``crashed`` / ``timeout``); those are not
+        journaled, so a resume retries them.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        done = load_journal(resume_from, kind=JOURNAL_KIND) if resume_from else {}
         specs = self._specs()
+        run_specs = []
+        for spec in specs:
+            skip = tuple(k for k in spec.scenario_keys() if k in done)
+            if len(skip) < len(spec.scenario_keys()):
+                run_specs.append(replace(spec, skip_keys=skip))
+
         t0 = time.perf_counter()
-        if jobs == 1 or len(specs) == 1:
-            per_combo = [_run_sweep_combo(spec) for spec in specs]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-                per_combo = list(pool.map(_run_sweep_combo, specs))
+        computed: dict[str, RecoveryRecord] = {}
+        with (CampaignJournal(journal_path) if journal_path else NullJournal()) as journal:
+
+            def on_outcome(out) -> None:
+                if not out.ok:
+                    return
+                for rec in out.value:
+                    journal.append(JOURNAL_KIND, rec.key, rec.to_dict())
+
+            pool = SupervisedPool(
+                jobs=min(jobs, len(run_specs)) if run_specs else 1,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                chaos=chaos,
+            )
+            outs = pool.map(
+                _run_sweep_combo,
+                run_specs,
+                keys=[f"{s.assay}|*|*" for s in run_specs],
+                on_outcome=on_outcome,
+            )
+        for spec, out in zip(run_specs, outs):
+            if out.ok:
+                for rec in out.value:
+                    computed[rec.key] = rec
+            else:
+                skip = set(spec.skip_keys)
+                for fraction in spec.time_fractions:
+                    for target in spec.targets:
+                        key = sweep_key(spec.assay, fraction, target)
+                        if key in skip:
+                            continue
+                        computed[key] = RecoveryRecord(
+                            assay=spec.assay, time_fraction=fraction,
+                            target=target, fault_time_s=0.0, fault_cell=None,
+                            recovered=False, reason=out.error,
+                            makespan_penalty_s=0.0, replace_s=0.0,
+                            reroute_s=0.0, recovery_s=0.0, rerouted_nets=0,
+                            reused_epochs=0, status=out.status,
+                        )
+
+        records = []
+        for spec in specs:
+            for key in spec.scenario_keys():
+                if key in computed:
+                    records.append(computed[key])
+                else:
+                    records.append(RecoveryRecord.from_dict(done[key]))
         return RecoverySweepReport(
             seed=self.seed,
             jobs=jobs,
             wall_s=time.perf_counter() - t0,
-            records=[rec for combo in per_combo for rec in combo],
+            records=records,
         )

@@ -57,6 +57,7 @@ from repro.sim.fastgrid import PackedDropletRouter
 from repro.sim.router import DropletRouter
 from repro.util.errors import (
     ReconfigurationError,
+    RecoveryError,
     RoutingError,
     SimulationError,
 )
@@ -229,6 +230,72 @@ class SimCheckpoint:
             "events_prefix": len(self.events_prefix),
             "nominal_makespan_s": self.nominal_makespan,
         }
+
+    def validate(self, schedule) -> None:
+        """Reject a corrupted or truncated checkpoint with a clear error.
+
+        Checkpoints cross process and serialization boundaries (sweep
+        workers, journals, user persistence); consuming a mangled one
+        must raise :class:`~repro.util.errors.RecoveryError` naming the
+        inconsistency — never a bare ``KeyError``/``IndexError`` from
+        deep inside the replay. *schedule* is the nominal schedule the
+        checkpoint claims to classify.
+        """
+
+        def bad(detail: str) -> RecoveryError:
+            return RecoveryError(f"corrupt checkpoint (t={self.time_s:g}): {detail}")
+
+        if not isinstance(self.time_s, (int, float)) or self.time_s < 0:
+            raise bad(f"checkpoint instant must be >= 0, got {self.time_s!r}")
+        buckets = (*self.completed, *self.in_flight, *self.pending)
+        if len(set(buckets)) != len(buckets):
+            seen, dupes = set(), set()
+            for op in buckets:
+                (dupes if op in seen else seen).add(op)
+            raise bad(f"operations classified twice: {sorted(dupes)}")
+        scheduled = set(schedule.op_ids())
+        if set(buckets) != scheduled:
+            missing = sorted(scheduled - set(buckets))
+            extra = sorted(set(buckets) - scheduled)
+            raise bad(
+                "classification does not partition the schedule "
+                f"(missing {missing}, unknown {extra})"
+            )
+        unknown = sorted(set(self.realized) - scheduled)
+        if unknown:
+            raise bad(f"realized intervals for unscheduled operations: {unknown}")
+        for op in (*self.completed, *self.in_flight):
+            if op not in self.realized:
+                raise bad(f"started operation {op!r} has no realized interval")
+        eps = 1e-9
+        for op, (start, finish) in self.realized.items():
+            if finish < start:
+                raise bad(
+                    f"realized interval of {op!r} runs backwards "
+                    f"({start:g} -> {finish:g})"
+                )
+            if op in self.completed and finish > self.time_s + eps:
+                raise bad(
+                    f"completed operation {op!r} finishes at {finish:g}, "
+                    "after the checkpoint instant"
+                )
+            if op in self.in_flight and start > self.time_s + eps:
+                raise bad(
+                    f"in-flight operation {op!r} starts at {start:g}, "
+                    "after the checkpoint instant"
+                )
+        unknown = sorted(set(self.droplet_positions) - scheduled)
+        if unknown:
+            raise bad(f"parked droplets from unscheduled operations: {unknown}")
+        late = [f"t={t:g}" for t, _ in self.faults if t > self.time_s + eps]
+        if late:
+            raise bad(f"recorded faults after the checkpoint instant: {late}")
+        stale = [e for e in self.events_prefix if e.time > self.time_s + eps]
+        if stale:
+            raise bad(
+                f"event-log prefix contains {len(stale)} event(s) after "
+                "the checkpoint instant (stale or truncated prefix)"
+            )
 
 
 class BiochipSimulator:
@@ -534,8 +601,10 @@ class BiochipSimulator:
         trace equals the original bit for bit (and its prefix up to the
         checkpoint instant always does when new faults only fire later).
         New faults must not predate the checkpoint — the past is
-        already fixed.
+        already fixed. A corrupted or truncated checkpoint is rejected
+        with :class:`~repro.util.errors.RecoveryError` up front.
         """
+        checkpoint.validate(self.schedule)
         extra = sorted(
             ((float(t), Point(*c)) for t, c in new_faults), key=lambda fc: fc[0]
         )

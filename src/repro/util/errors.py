@@ -21,6 +21,11 @@ class PlacementError(ReproError):
     """Raised when a placement is infeasible or violates the core area."""
 
 
+class CrossCheckError(PlacementError):
+    """Raised when the incremental delta-cost path and the full
+    recompute disagree about a placement move (cross-check mode)."""
+
+
 class ReconfigurationError(ReproError):
     """Raised when partial reconfiguration cannot relocate a faulty module."""
 
@@ -41,4 +46,33 @@ class PipelineError(ReproError):
 class RecoveryError(ReproError):
     """Raised when the online fault-recovery engine is misused (e.g. a
     fault injected outside the assay's lifetime, or recovery requested
-    without the products it needs)."""
+    without the products it needs), or when checkpoint data is
+    corrupted, truncated, or inconsistent with the run it claims to
+    snapshot."""
+
+
+class ExecutionError(ReproError):
+    """Base class for failures of the supervised execution layer
+    (:mod:`repro.exec`) itself, as opposed to failures of the work it
+    runs."""
+
+
+class WorkerTimeoutError(ExecutionError):
+    """Raised (or recorded as a ``timeout`` outcome) when a task
+    overruns its per-task deadline on every allowed attempt."""
+
+
+class WorkerCrashError(ExecutionError):
+    """Raised (or recorded as a ``crashed`` outcome) when a worker
+    process died — or kept raising non-library exceptions — on every
+    allowed attempt of a task."""
+
+
+class JournalError(ExecutionError):
+    """Raised when a campaign journal cannot be read: unreadable file,
+    or corruption anywhere except the final (kill-interrupted) line."""
+
+
+class UsageError(ReproError):
+    """Raised by the CLI for invalid flag combinations or unknown
+    names — mapped to exit code 2, like argparse's own errors."""

@@ -1,0 +1,109 @@
+"""Crash-safety semantics of :mod:`repro.exec.journal`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import CampaignJournal, NullJournal, load_journal
+from repro.util.errors import JournalError
+
+
+def test_append_writes_versioned_jsonl(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("batch-scenario", "pcr|auto|center", {"makespan_s": 12.5})
+        journal.append("batch-scenario", "pcr|auto|corner", {"makespan_s": 13.0})
+        assert journal.appended == 2
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "v": 1,
+        "kind": "batch-scenario",
+        "key": "pcr|auto|center",
+        "record": {"makespan_s": 12.5},
+    }
+
+
+def test_no_append_never_touches_the_file(tmp_path):
+    path = tmp_path / "untouched.jsonl"
+    with CampaignJournal(path):
+        pass
+    assert not path.exists()
+
+
+def test_load_round_trips_and_last_write_wins(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("k", "a", {"x": 1})
+        journal.append("k", "b", {"x": 2})
+        journal.append("k", "a", {"x": 3})
+    assert load_journal(path) == {"a": {"x": 3}, "b": {"x": 2}}
+
+
+def test_kind_filters_producers_sharing_a_file(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("batch-scenario", "a", {"x": 1})
+        journal.append("recovery-scenario", "b", {"x": 2})
+    assert load_journal(path, kind="batch-scenario") == {"a": {"x": 1}}
+    assert load_journal(path, kind="recovery-scenario") == {"b": {"x": 2}}
+
+
+def test_torn_final_line_is_the_tolerated_kill_signature(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("k", "a", {"x": 1})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"v":1,"kind":"k","key":"b","rec')  # kill -9 mid-write
+    assert load_journal(path) == {"a": {"x": 1}}
+
+
+def test_mid_file_corruption_is_fatal(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('not json at all\n{"v":1,"kind":"k","key":"a","record":{}}\n')
+    with pytest.raises(JournalError, match="line 1"):
+        load_journal(path)
+
+
+def test_line_that_parses_but_is_not_a_record_is_fatal(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('{"some": "other schema"}\n{"v":1,"kind":"k","key":"a","record":{}}\n')
+    with pytest.raises(JournalError, match="not a journal record"):
+        load_journal(path)
+
+
+def test_missing_file_is_unreadable(tmp_path):
+    with pytest.raises(JournalError, match="cannot read"):
+        load_journal(tmp_path / "nope.jsonl")
+
+
+def test_append_seals_a_torn_tail_before_writing(tmp_path):
+    # Regression: appending after a torn final write must not glue the
+    # new record onto the fragment — that would turn a tolerated
+    # final-line tear into fatal mid-file corruption on the next load.
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("k", "a", {"x": 1})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"v":1,"kind":"k","key":"b"')
+    with CampaignJournal(path) as journal:
+        journal.append("k", "c", {"x": 3})
+    assert load_journal(path) == {"a": {"x": 1}, "c": {"x": 3}}
+
+
+def test_resume_appends_to_existing_journal(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.append("k", "a", {"x": 1})
+    with CampaignJournal(path) as journal:
+        journal.append("k", "b", {"x": 2})
+    assert load_journal(path) == {"a": {"x": 1}, "b": {"x": 2}}
+
+
+def test_null_journal_is_inert(tmp_path):
+    with NullJournal() as journal:
+        journal.append("k", "a", {"x": 1})
+    assert journal.appended == 0

@@ -1,0 +1,222 @@
+"""Supervision semantics of :class:`repro.exec.SupervisedPool`.
+
+Every supervision path is driven by deterministic chaos injection
+(:mod:`repro.testing.chaos`) rather than real faults, so the suite is
+reproducible on a single-core box. Sizes are deliberately tiny — the
+pool's behaviour, not its throughput, is under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    STATUS_CRASHED,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_RETRIED_OK,
+    STATUS_TIMEOUT,
+    SupervisedPool,
+    TaskOutcome,
+)
+from repro.testing.chaos import ChaosPolicy
+from repro.util.errors import PipelineError
+
+
+def square(x):
+    return x * x
+
+
+def square_or_infeasible(x):
+    if x % 2:
+        raise PipelineError(f"odd input {x}")
+    return x * x
+
+
+def buggy(x):
+    raise KeyError(x)
+
+
+def slow_square(args):
+    import time
+
+    x, delay = args
+    time.sleep(delay)
+    return x * x
+
+
+def quiet_pool(**kw):
+    kw.setdefault("chaos", ChaosPolicy.none())
+    kw.setdefault("backoff_base", 0.0)
+    return SupervisedPool(**kw)
+
+
+class TestSerialPath:
+    def test_jobs_one_runs_in_process(self):
+        pool = quiet_pool(jobs=1)
+        outcomes = pool.map(square, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert all(o.status == STATUS_OK and o.attempts == 1 for o in outcomes)
+        assert pool.rebuilds == 0 and not pool.degraded
+
+    def test_single_task_short_circuits_to_serial(self):
+        outcomes = quiet_pool(jobs=4).map(square, [5])
+        assert [o.value for o in outcomes] == [25]
+
+    def test_repro_error_is_infeasible_not_crash(self):
+        outcomes = quiet_pool(jobs=1).map(square_or_infeasible, [2, 3])
+        assert outcomes[0].status == STATUS_OK
+        assert outcomes[1].status == STATUS_INFEASIBLE
+        assert "PipelineError" in outcomes[1].error
+        assert outcomes[1].value is None and not outcomes[1].ok
+
+    def test_non_library_exception_is_crashed(self):
+        outcomes = quiet_pool(jobs=1).map(buggy, [7])
+        assert outcomes[0].status == STATUS_CRASHED
+        assert "KeyError" in outcomes[0].error
+
+    def test_empty_task_list(self):
+        assert quiet_pool(jobs=2).map(square, []) == []
+
+    def test_default_keys_are_indices(self):
+        outcomes = quiet_pool(jobs=1).map(square, [1, 2])
+        assert [o.key for o in outcomes] == ["0", "1"]
+
+
+class TestValidation:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SupervisedPool(jobs=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            SupervisedPool(task_timeout=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisedPool(max_retries=-1)
+
+    def test_rejects_key_count_mismatch(self):
+        with pytest.raises(ValueError, match="keys"):
+            quiet_pool(jobs=1).map(square, [1, 2], keys=["only-one"])
+
+
+class TestParallelSupervision:
+    def test_plain_parallel_map(self):
+        pool = quiet_pool(jobs=2)
+        outcomes = pool.map(square, list(range(5)))
+        assert [o.value for o in outcomes] == [0, 1, 4, 9, 16]
+        assert [o.index for o in outcomes] == list(range(5))
+        assert pool.rebuilds == 0
+
+    def test_infeasible_does_not_burn_retries(self):
+        pool = quiet_pool(jobs=2, max_retries=3)
+        outcomes = pool.map(square_or_infeasible, [2, 3, 4])
+        assert [o.status for o in outcomes] == [
+            STATUS_OK, STATUS_INFEASIBLE, STATUS_OK,
+        ]
+        assert outcomes[1].attempts == 1  # deterministic verdict: no retry
+
+    def test_worker_kill_is_retried_then_ok(self):
+        chaos = ChaosPolicy.explicit_plan({(1, 0): "worker-kill"})
+        pool = quiet_pool(jobs=2, chaos=chaos)
+        outcomes = pool.map(square, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert outcomes[1].status == STATUS_RETRIED_OK
+        assert outcomes[1].attempts == 2
+        assert pool.rebuilds >= 1
+
+    def test_unpicklable_exception_is_retried(self):
+        chaos = ChaosPolicy.explicit_plan({(0, 0): "unpicklable"})
+        outcomes = quiet_pool(jobs=2, chaos=chaos).map(square, [4, 5])
+        assert outcomes[0].status == STATUS_RETRIED_OK
+        assert outcomes[0].value == 16
+
+    def test_retry_exhaustion_is_crashed_siblings_survive(self):
+        chaos = ChaosPolicy.explicit_plan(
+            {(0, a): "worker-kill" for a in range(3)}
+        )
+        pool = quiet_pool(jobs=2, max_retries=2, chaos=chaos)
+        outcomes = pool.map(square, [1, 2, 3])
+        assert outcomes[0].status == STATUS_CRASHED
+        assert outcomes[0].attempts == 3
+        assert [o.value for o in outcomes[1:]] == [4, 9]
+        assert all(o.ok for o in outcomes[1:])
+
+    def test_watchdog_kills_hung_worker(self):
+        chaos = ChaosPolicy.explicit_plan({(0, 0): "timeout"}, sleep_s=30.0)
+        pool = quiet_pool(jobs=2, task_timeout=0.5, max_retries=1, chaos=chaos)
+        outcomes = pool.map(slow_square, [(3, 0.0), (4, 0.0)])
+        # attempt 0 hangs and is killed; attempt 1 is chaos-free and lands.
+        assert outcomes[0].status == STATUS_RETRIED_OK
+        assert outcomes[0].value == 9
+        assert outcomes[1].ok and outcomes[1].value == 16
+        assert pool.rebuilds >= 1
+
+    def test_timeout_exhaustion_reports_timeout(self):
+        chaos = ChaosPolicy.explicit_plan(
+            {(0, a): "timeout" for a in range(2)}, sleep_s=30.0
+        )
+        pool = quiet_pool(jobs=2, task_timeout=0.4, max_retries=1, chaos=chaos)
+        outcomes = pool.map(square, [1, 2])
+        assert outcomes[0].status == STATUS_TIMEOUT
+        assert "deadline" in outcomes[0].error
+        assert outcomes[1].ok
+
+    def test_degrades_to_serial_after_pool_failure_limit(self):
+        # Every first attempt dies; with the rebuild budget at 0 the
+        # pool must degrade and drain the remaining tasks in-process,
+        # where chaos is inert — the campaign still completes.
+        chaos = ChaosPolicy.explicit_plan(
+            {(i, 0): "worker-kill" for i in range(4)}
+        )
+        pool = quiet_pool(jobs=2, pool_failure_limit=0, chaos=chaos)
+        outcomes = pool.map(square, [1, 2, 3, 4])
+        assert pool.degraded
+        assert [o.value for o in outcomes] == [1, 4, 9, 16]
+
+
+class TestDeterminismContract:
+    def test_results_invariant_under_jobs_and_chaos(self):
+        tasks = list(range(6))
+        baseline = [o.value for o in quiet_pool(jobs=1).map(square, tasks)]
+        chaos = ChaosPolicy.explicit_plan(
+            {(1, 0): "worker-kill", (4, 0): "unpicklable"}
+        )
+        for pool in (quiet_pool(jobs=2), quiet_pool(jobs=3, chaos=chaos)):
+            outcomes = pool.map(square, tasks)
+            assert [o.value for o in outcomes] == baseline
+            assert [o.index for o in outcomes] == tasks
+
+    def test_seeded_chaos_converges_to_clean_result(self):
+        tasks = list(range(5))
+        clean = [o.value for o in quiet_pool(jobs=2).map(square, tasks)]
+        chaos = ChaosPolicy.seeded(
+            ["worker-kill", "unpicklable"], seed=11, rate=0.6
+        )
+        stormy = quiet_pool(jobs=2, max_retries=2, chaos=chaos).map(square, tasks)
+        assert all(o.ok for o in stormy)
+        assert [o.value for o in stormy] == clean
+
+
+class TestOutcomePlumbing:
+    def test_on_outcome_sees_every_task_once(self):
+        seen = []
+        outcomes = quiet_pool(jobs=2).map(
+            square, [1, 2, 3], keys=["a", "b", "c"], on_outcome=seen.append
+        )
+        assert sorted(o.index for o in seen) == [0, 1, 2]
+        assert {o.key for o in seen} == {"a", "b", "c"}
+        assert {id(o) for o in seen} == {id(o) for o in outcomes}
+
+    def test_to_dict_is_json_safe_summary(self):
+        out = TaskOutcome(
+            index=3, key="pcr|auto|center", status=STATUS_TIMEOUT,
+            attempts=2, error="deadline 1s exceeded", wall_s=1.25,
+        )
+        d = out.to_dict()
+        assert d == {
+            "index": 3, "key": "pcr|auto|center", "status": STATUS_TIMEOUT,
+            "attempts": 2, "error": "deadline 1s exceeded", "wall_s": 1.25,
+        }
+        assert "value" not in d

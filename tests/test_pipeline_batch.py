@@ -210,3 +210,121 @@ class TestValidation:
         assert by_pattern["center"].result.sim_report is not None
         assert by_pattern["center"].result.sim_report.events_of_kind("fault")
         assert not by_pattern["none"].result.sim_report.events_of_kind("fault")
+
+
+# -- supervised execution: failure records, chaos, journal/resume -------------
+
+_TIMING_KEYS = frozenset(
+    {"wall_s", "runtime_s", "stage_timings", "anneal_s", "proposals_per_s"}
+)
+
+
+def _stable(node):
+    """A report dict with the wall-clock-noise fields stripped."""
+    if isinstance(node, dict):
+        return {k: _stable(v) for k, v in node.items() if k not in _TIMING_KEYS}
+    if isinstance(node, list):
+        return [_stable(v) for v in node]
+    return node
+
+
+def small_runner(**kwargs):
+    return grid_runner(
+        assays={
+            "pcr": (build_pcr_mixing_graph(), PCR_BINDING),
+            "dilution": (build_serial_dilution_graph(3), None),
+        },
+        **kwargs,
+    )
+
+
+class TestStructuredFailures:
+    def test_crashed_combo_yields_failure_records_not_silence(self):
+        from repro.exec import STATUS_CRASHED
+        from repro.testing.chaos import ChaosPolicy
+
+        # Combo 0 (pcr) fails on every attempt with an exception the
+        # result pipe cannot pickle (task-scoped, so combo 1 is
+        # unharmed); the lost scenarios must surface as keyed failure
+        # records instead of vanishing from the report.
+        chaos = ChaosPolicy.explicit_plan(
+            {(0, a): "unpicklable" for a in range(2)}
+        )
+        report = small_runner().run(jobs=2, max_retries=1, chaos=chaos)
+        assert len(report.records) == 4  # nothing silently dropped
+        failed = [r for r in report.records if r.assay == "pcr"]
+        assert len(failed) == 2
+        for r in failed:
+            assert not r.ok
+            assert r.status == STATUS_CRASHED
+            assert r.error
+            assert r.key in ("pcr|auto|none", "pcr|auto|center")
+        assert all(r.ok for r in report.records if r.assay == "dilution")
+        assert "FAILED" in report.table_text()
+
+    def test_retried_run_is_bit_identical_to_clean_run(self):
+        from repro.testing.chaos import ChaosPolicy
+
+        clean = small_runner().run(jobs=2)
+        chaos = ChaosPolicy.explicit_plan({(1, 0): "worker-kill"})
+        stormy = small_runner().run(jobs=2, max_retries=2, chaos=chaos)
+        assert _stable(stormy.to_dict()) == _stable(clean.to_dict())
+
+
+class TestJournalResume:
+    def test_journal_records_every_decided_scenario(self, tmp_path):
+        from repro.exec import load_journal
+        from repro.pipeline.batch import JOURNAL_KIND
+
+        journal = tmp_path / "batch.jsonl"
+        small_runner().run(jobs=1, journal_path=journal)
+        done = load_journal(journal, kind=JOURNAL_KIND)
+        assert set(done) == {
+            "pcr|auto|none", "pcr|auto|center",
+            "dilution|auto|none", "dilution|auto|center",
+        }
+        assert all(rec["ok"] for rec in done.values())
+
+    def test_full_resume_is_bit_identical_and_recomputes_nothing(self, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        original = small_runner().run(jobs=1, journal_path=journal)
+        resumed = small_runner().run(jobs=1, resume_from=journal)
+        assert _stable(resumed.to_dict()) == _stable(original.to_dict())
+        # Reloaded records carry the raw result dict, not a live result.
+        assert all(r.result is None for r in resumed.records)
+        assert all(r.result_dict is not None for r in resumed.records)
+
+    def test_resume_after_crash_completes_the_campaign(self, tmp_path):
+        from repro.exec import load_journal
+        from repro.pipeline.batch import JOURNAL_KIND
+        from repro.testing.chaos import ChaosPolicy
+
+        clean = small_runner().run(jobs=1)
+        journal = tmp_path / "batch.jsonl"
+        # First attempt: the pcr combo is lost past the retry budget, so
+        # only dilution's scenarios reach the journal (crash/timeout
+        # records must never be journaled — a resume has to retry them).
+        chaos = ChaosPolicy.explicit_plan(
+            {(0, a): "unpicklable" for a in range(2)}
+        )
+        first = small_runner().run(
+            jobs=2, max_retries=1, chaos=chaos, journal_path=journal
+        )
+        assert first.ok_count == 2
+        assert set(load_journal(journal, kind=JOURNAL_KIND)) == {
+            "dilution|auto|none", "dilution|auto|center",
+        }
+        # Resume without chaos: only pcr is recomputed, the report is
+        # bit-identical to an uninterrupted run, the journal now full.
+        resumed = small_runner().run(
+            jobs=1, journal_path=journal, resume_from=journal
+        )
+        assert _stable(resumed.to_dict()) == _stable(clean.to_dict())
+        assert len(load_journal(journal, kind=JOURNAL_KIND)) == 4
+
+    def test_resume_with_journal_into_same_file_appends_nothing_new(self, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        small_runner().run(jobs=1, journal_path=journal)
+        lines_before = journal.read_text().count("\n")
+        small_runner().run(jobs=1, journal_path=journal, resume_from=journal)
+        assert journal.read_text().count("\n") == lines_before

@@ -171,3 +171,49 @@ class TestObjectives:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             run_portfolio(fast_spec(), n=2, seed=5, jobs=0)
+
+
+class TestSupervisedFailures:
+    def test_crashed_instance_lands_in_failures_and_survivors_win(self):
+        from repro.exec import STATUS_CRASHED
+        from repro.testing.chaos import ChaosPolicy
+
+        chaos = ChaosPolicy.explicit_plan({(0, 0): "unpicklable"})
+        portfolio = run_portfolio(
+            fast_spec(), n=2, seed=11, jobs=2, max_retries=0, chaos=chaos
+        )
+        assert len(portfolio.failures) == 1
+        failure = portfolio.failures[0]
+        assert failure["key"] == "instance-0"
+        assert failure["status"] == STATUS_CRASHED
+        assert failure["error"]
+        # The survivor is selected and carries the original index.
+        assert [o.index for o in portfolio.outcomes] == [1]
+        assert portfolio.winner.index == 1
+        assert "failures" in portfolio.to_dict()
+
+    def test_retried_instance_keeps_the_portfolio_bit_identical(self):
+        from repro.testing.chaos import ChaosPolicy
+
+        clean = run_portfolio(fast_spec(), n=2, seed=11, jobs=2)
+        chaos = ChaosPolicy.explicit_plan({(1, 0): "unpicklable"})
+        stormy = run_portfolio(
+            fast_spec(), n=2, seed=11, jobs=2, max_retries=2, chaos=chaos
+        )
+        assert not stormy.failures
+        assert stormy.winner_index == clean.winner_index
+        assert [o.objective_value for o in stormy.outcomes] == [
+            o.objective_value for o in clean.outcomes
+        ]
+
+    def test_every_instance_crashed_raises_worker_crash_error(self):
+        from repro.testing.chaos import ChaosPolicy
+        from repro.util.errors import WorkerCrashError
+
+        chaos = ChaosPolicy.explicit_plan(
+            {(i, 0): "unpicklable" for i in range(2)}
+        )
+        with pytest.raises(WorkerCrashError, match="all 2 portfolio instances"):
+            run_portfolio(
+                fast_spec(), n=2, seed=11, jobs=2, max_retries=0, chaos=chaos
+            )

@@ -137,6 +137,134 @@ def test_checkpoint_of_failed_run_raises():
         sim.checkpoint(10.0, faults=faults)
 
 
+# -- corrupted / truncated checkpoints ----------------------------------------
+
+
+class TestCheckpointValidation:
+    """A mangled checkpoint must raise RecoveryError naming the
+    inconsistency — never a bare KeyError/IndexError from deep inside
+    the replay (checkpoints cross process and serialization
+    boundaries)."""
+
+    @pytest.fixture()
+    def ck(self, synthesized):
+        import dataclasses
+
+        sim, baseline = synthesized
+        checkpoint = sim.checkpoint(0.5 * baseline.nominal_makespan)
+        return sim, checkpoint, dataclasses.replace
+
+    def test_intact_checkpoint_validates_and_resumes(self, ck):
+        sim, checkpoint, _ = ck
+        checkpoint.validate(sim.schedule)
+        assert sim.resume(checkpoint).completed
+
+    def test_negative_time_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        with pytest.raises(RecoveryError, match="must be >= 0"):
+            replace(checkpoint, time_s=-1.0).validate(sim.schedule)
+
+    def test_duplicate_classification_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        dup = checkpoint.completed[0]
+        mangled = replace(checkpoint, pending=(*checkpoint.pending, dup))
+        with pytest.raises(RecoveryError, match="classified twice"):
+            mangled.validate(sim.schedule)
+
+    def test_missing_operation_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        mangled = replace(checkpoint, pending=checkpoint.pending[1:])
+        with pytest.raises(RecoveryError, match="does not partition"):
+            mangled.validate(sim.schedule)
+        with pytest.raises(RecoveryError, match="corrupt checkpoint"):
+            sim.resume(mangled)
+
+    def test_unknown_operation_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        mangled = replace(
+            checkpoint, pending=(*checkpoint.pending, "op-from-another-assay")
+        )
+        with pytest.raises(RecoveryError, match="does not partition"):
+            mangled.validate(sim.schedule)
+
+    def test_started_op_without_realized_interval_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        realized = dict(checkpoint.realized)
+        realized.pop(checkpoint.completed[0])
+        mangled = replace(checkpoint, realized=realized)
+        with pytest.raises(RecoveryError, match="no realized interval"):
+            mangled.validate(sim.schedule)
+
+    def test_backwards_interval_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        op = checkpoint.completed[0]
+        realized = dict(checkpoint.realized)
+        start, finish = realized[op]
+        realized[op] = (finish + 1.0, start)
+        with pytest.raises(RecoveryError, match="backwards"):
+            replace(checkpoint, realized=realized).validate(sim.schedule)
+
+    def test_completed_op_finishing_in_the_future_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        op = checkpoint.completed[0]
+        realized = dict(checkpoint.realized)
+        start, _ = realized[op]
+        realized[op] = (start, checkpoint.time_s + 100.0)
+        with pytest.raises(RecoveryError, match="after the checkpoint instant"):
+            replace(checkpoint, realized=realized).validate(sim.schedule)
+
+    def test_fault_after_checkpoint_instant_rejected(self, ck):
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        mangled = replace(
+            checkpoint,
+            faults=(*checkpoint.faults, (checkpoint.time_s + 5.0, (1, 1))),
+        )
+        with pytest.raises(RecoveryError, match="faults after"):
+            mangled.validate(sim.schedule)
+
+    def test_stale_event_prefix_rejected(self, ck):
+        import dataclasses as dc
+
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        late = dc.replace(
+            checkpoint.events_prefix[-1], time=checkpoint.time_s + 9.0
+        )
+        mangled = replace(
+            checkpoint, events_prefix=(*checkpoint.events_prefix, late)
+        )
+        with pytest.raises(RecoveryError, match="stale or truncated"):
+            mangled.validate(sim.schedule)
+
+    def test_parked_droplet_from_unknown_op_rejected(self, ck):
+        from repro.geometry import Point
+        from repro.util.errors import RecoveryError
+
+        sim, checkpoint, replace = ck
+        positions = dict(checkpoint.droplet_positions)
+        positions["phantom-op"] = Point(3, 3)
+        mangled = replace(checkpoint, droplet_positions=positions)
+        with pytest.raises(RecoveryError, match="parked droplets"):
+            mangled.validate(sim.schedule)
+
+
 # -- sweep determinism across --jobs ------------------------------------------
 
 _TIMING_KEYS = ("replace_s", "reroute_s", "recovery_s")
@@ -168,3 +296,66 @@ def test_sweep_results_identical_across_jobs():
     serial = _stable(run(1))
     parallel = _stable(run(2))
     assert serial == parallel
+
+
+# -- sweep journaling, resume, and structured failures ------------------------
+
+
+def small_sweep(assays=("pcr",)):
+    return MonteCarloRecoverySweep(
+        assays=assays,
+        time_fractions=(0.5,),
+        targets=("pending-module", "street"),
+        annealing=AnnealingParams.fast(),
+        recovery_annealing=AnnealingParams.fast(),
+        seed=11,
+    )
+
+
+def test_sweep_journal_and_full_resume_bit_identical(tmp_path):
+    from repro.exec import load_journal
+    from repro.recovery.sweep import JOURNAL_KIND
+
+    journal = tmp_path / "sweep.jsonl"
+    original = small_sweep().run(jobs=1, journal_path=journal)
+    assert set(load_journal(journal, kind=JOURNAL_KIND)) == {
+        "pcr|0.5|pending-module", "pcr|0.5|street",
+    }
+    resumed = small_sweep().run(jobs=1, resume_from=journal)
+    assert _stable(resumed.to_dict()) == _stable(original.to_dict())
+
+
+def test_sweep_partial_resume_preserves_the_seed_stream(tmp_path):
+    # Only the first scenario is journaled; the recomputed rest must
+    # draw exactly the seeds an uninterrupted run would (skipped
+    # scenarios still consume their pre-derived seeds positionally).
+    journal = tmp_path / "sweep.jsonl"
+    original = small_sweep().run(jobs=1, journal_path=journal)
+    lines = journal.read_text().splitlines(keepends=True)
+    partial = tmp_path / "partial.jsonl"
+    partial.write_text(lines[0])
+    resumed = small_sweep().run(jobs=1, resume_from=partial)
+    assert _stable(resumed.to_dict()) == _stable(original.to_dict())
+
+
+def test_sweep_crashed_block_yields_structured_failure_records():
+    from repro.exec import STATUS_CRASHED
+    from repro.testing.chaos import ChaosPolicy
+
+    # The pcr block fails with a task-scoped unpicklable exception on
+    # its only attempt; its scenarios must appear as keyed failure
+    # records while the dilution block is unharmed.
+    chaos = ChaosPolicy.explicit_plan({(0, 0): "unpicklable"})
+    report = small_sweep(assays=("pcr", "dilution")).run(
+        jobs=2, max_retries=0, chaos=chaos
+    )
+    assert len(report.records) == 4
+    failed = [r for r in report.records if r.assay == "pcr"]
+    assert len(failed) == 2
+    for r in failed:
+        assert r.status == STATUS_CRASHED
+        assert not r.recovered
+        assert r.reason
+        assert r.key in ("pcr|0.5|pending-module", "pcr|0.5|street")
+    assert all(r.status == "ok" for r in report.records if r.assay == "dilution")
+    assert "FAILED" in report.table_text()

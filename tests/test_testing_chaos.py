@@ -1,0 +1,120 @@
+"""Determinism and scoping of :class:`repro.testing.chaos.ChaosPolicy`."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.testing.chaos import (
+    CHAOS_MODES,
+    ChaosPolicy,
+    UnpicklableChaosError,
+    _chaos_hash,
+)
+
+
+class TestConstruction:
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosPolicy.seeded(["segfault"])
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosPolicy.explicit_plan({(0, 0): "meteor-strike"})
+
+    def test_rate_outside_unit_interval_is_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChaosPolicy.seeded(["timeout"], rate=1.5)
+
+    def test_none_policy_is_inactive(self):
+        assert not ChaosPolicy.none().active
+        assert ChaosPolicy.none().describe() == "none"
+
+    def test_policies_pickle(self):
+        # Policies ride into worker processes with every submission.
+        policy = ChaosPolicy.seeded(["worker-kill"], seed=3, rate=0.5)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestSchedule:
+    def test_explicit_plan_pins_exact_executions(self):
+        policy = ChaosPolicy.explicit_plan({(2, 0): "worker-kill", (2, 1): "timeout"})
+        assert policy.action(2, 0) == "worker-kill"
+        assert policy.action(2, 1) == "timeout"
+        assert policy.action(2, 2) is None
+        assert policy.action(0, 0) is None
+        assert policy.active
+
+    def test_explicit_wins_over_seeded(self):
+        policy = ChaosPolicy(
+            modes=("worker-kill",), rate=1.0, explicit={(0, 0): "timeout"}
+        )
+        assert policy.action(0, 0) == "timeout"
+        assert policy.action(1, 0) == "worker-kill"
+
+    def test_seeded_injects_first_attempt_only(self):
+        policy = ChaosPolicy.seeded(CHAOS_MODES, seed=5, rate=1.0)
+        assert all(policy.action(i, 0) is not None for i in range(10))
+        assert all(policy.action(i, 1) is None for i in range(10))
+
+    def test_seeded_schedule_is_a_pure_function_of_seed(self):
+        a = ChaosPolicy.seeded(["worker-kill", "timeout"], seed=9, rate=0.5)
+        b = ChaosPolicy.seeded(["worker-kill", "timeout"], seed=9, rate=0.5)
+        actions = [a.action(i, 0) for i in range(50)]
+        assert actions == [b.action(i, 0) for i in range(50)]
+        # ... and actually mixes hits and misses at rate 0.5.
+        assert any(x is not None for x in actions)
+        assert any(x is None for x in actions)
+
+    def test_different_seeds_differ(self):
+        a = ChaosPolicy.seeded(CHAOS_MODES, seed=1, rate=0.5)
+        b = ChaosPolicy.seeded(CHAOS_MODES, seed=2, rate=0.5)
+        assert [a.action(i, 0) for i in range(50)] != [
+            b.action(i, 0) for i in range(50)
+        ]
+
+    def test_hash_draws_are_uniform_enough(self):
+        draws = [_chaos_hash(0, i, "worker-kill") for i in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.3 < sum(d < 0.5 for d in draws) / 200 < 0.7
+
+
+class TestEnv:
+    def test_unset_env_means_no_policy(self):
+        assert ChaosPolicy.from_env({}) is None
+        assert ChaosPolicy.from_env({"REPRO_CHAOS": "  "}) is None
+
+    def test_env_spec_parses_modes_and_knobs(self):
+        policy = ChaosPolicy.from_env(
+            {
+                "REPRO_CHAOS": "worker-kill, timeout",
+                "REPRO_CHAOS_SEED": "7",
+                "REPRO_CHAOS_RATE": "0.1",
+                "REPRO_CHAOS_SLEEP": "0.5",
+            }
+        )
+        assert policy.modes == ("worker-kill", "timeout")
+        assert policy.seed == 7
+        assert policy.rate == 0.1
+        assert policy.sleep_s == 0.5
+
+    def test_env_with_bad_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosPolicy.from_env({"REPRO_CHAOS": "worker-kill,coffee-spill"})
+
+
+class TestInjection:
+    def test_parent_process_is_immune(self):
+        # inject() in the parent must be a no-op even when the schedule
+        # says "kill": chaos models worker faults, and the degraded
+        # serial path relies on this to terminate.
+        policy = ChaosPolicy.explicit_plan({(0, 0): "worker-kill"})
+        policy.inject(0, 0)  # would os._exit(73) in a worker
+
+    def test_unpicklable_error_refuses_to_pickle(self):
+        exc = UnpicklableChaosError("boom")
+        with pytest.raises(TypeError, match="refuses to pickle"):
+            pickle.dumps(exc)
+
+    def test_describe_summarizes_the_policy(self):
+        assert "explicit" in ChaosPolicy.explicit_plan({(0, 0): "timeout"}).describe()
+        assert "seeded" in ChaosPolicy.seeded(["timeout"], rate=0.2).describe()
