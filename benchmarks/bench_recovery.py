@@ -9,7 +9,9 @@ Not a paper artifact — the proof obligations of ``repro.recovery``:
    with the same fault known at time zero (fault-aware routing and
    verification; placement fault-oblivious, exactly as the offline
    flow ships). Knowing the fault before synthesis starts is strictly
-   easier, so matching it online is the bar.
+   easier, so matching it online is the bar. The same scenario is also
+   run **closed-loop** (lossy capacitive sensing, no oracle), which
+   must complete whenever the perfect-knowledge engine recovers.
 2. **Re-synthesis latency.** On the paper schedule (tree16), suffix
    re-routing — only the epochs released after the fault, step counters
    continued from the kept prefix — must beat a full re-route of the
@@ -29,10 +31,12 @@ import time
 import pytest
 
 from repro.assay.catalog import BUNDLED_ASSAYS, build_assay
+from repro.fault.models import FAIL, FaultEvent
 from repro.placement.annealer import AnnealingParams
 from repro.placement.sa_placer import SimulatedAnnealingPlacer
-from repro.recovery import OnlineRecoveryEngine
+from repro.recovery import ClosedLoopController, OnlineRecoveryEngine
 from repro.recovery.engine import pick_fault_cell
+from repro.testing import CapacitiveSensor
 from repro.routing.synthesis import RoutingSynthesizer
 from repro.sim.engine import BiochipSimulator
 from repro.synthesis.flow import SynthesisFlow
@@ -109,12 +113,24 @@ def test_recovery_success_vs_offline_baseline(assay):
         result, [cell], fault_time, seed=TARGET_SEED, checkpoint=checkpoint
     )
     offline = _offline_baseline_recovers(assay, cell)
+    closed = ClosedLoopController(
+        engine=OnlineRecoveryEngine(annealing=AnnealingParams.fast()),
+        sensor=CapacitiveSensor(
+            false_positive_rate=0.02, false_negative_rate=0.05
+        ),
+    ).run(
+        result,
+        (FaultEvent(fault_time, cell, FAIL),),
+        seed=TARGET_SEED,
+        mode="closed-loop",
+    )
     _success_rows.append(
         (
             assay,
             str(cell),
             f"t={fault_time:g}s",
             "yes" if outcome.recovered else f"no ({outcome.reason})",
+            "yes" if closed.completed else f"no ({closed.reason})",
             "yes" if offline else "no",
             f"{outcome.makespan_penalty_s:g}",
             f"{outcome.recovery_s * 1000:.1f}",
@@ -124,6 +140,8 @@ def test_recovery_success_vs_offline_baseline(assay):
         "fault_cell": [cell.x, cell.y],
         "fault_time_s": fault_time,
         "online_recovered": outcome.recovered,
+        "closed_loop_completed": closed.completed,
+        "closed_loop_rung": closed.final_rung,
         "offline_recovered": offline,
         "makespan_penalty_s": outcome.makespan_penalty_s,
         "recovery_ms": outcome.recovery_s * 1000,
@@ -139,15 +157,17 @@ def test_recovery_success_bar(report, bench_json):
         pytest.skip("needs the per-assay outcomes from the full module run")
     per = _results["per_assay"]
     online = sum(1 for r in per.values() if r["online_recovered"])
+    closed = sum(1 for r in per.values() if r["closed_loop_completed"])
     offline = sum(1 for r in per.values() if r["offline_recovered"])
     table = format_table(
-        ("assay", "fault", "arrival", "online", "offline", "penalty s", "resynth ms"),
+        ("assay", "fault", "arrival", "online", "closed loop", "offline",
+         "penalty s", "resynth ms"),
         _success_rows,
     )
     report(
         "Online recovery vs offline fault-aware baseline",
-        f"{table}\n\nonline {online}/{len(per)} vs offline {offline}/{len(per)} "
-        f"(fast={FAST})",
+        f"{table}\n\nonline {online}/{len(per)}, closed-loop "
+        f"{closed}/{len(per)} vs offline {offline}/{len(per)} (fast={FAST})",
     )
     bench_json(
         "recovery_success",
@@ -155,6 +175,7 @@ def test_recovery_success_bar(report, bench_json):
             "fast_mode": FAST,
             "assays": per,
             "online_recovered": online,
+            "closed_loop_completed": closed,
             "offline_recovered": offline,
             "scenario_count": len(per),
         },
@@ -163,6 +184,10 @@ def test_recovery_success_bar(report, bench_json):
     assert online >= offline, (
         f"online recovery ({online}/{len(per)}) fell below the offline "
         f"fault-aware baseline ({offline}/{len(per)})"
+    )
+    assert closed >= online, (
+        f"closed-loop completion ({closed}/{len(per)}) fell below the "
+        f"oracle-knowledge online engine ({online}/{len(per)})"
     )
 
 

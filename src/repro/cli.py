@@ -57,6 +57,7 @@ from repro.exec import (
     STATUS_RETRIED_OK,
     STATUS_TIMEOUT,
 )
+from repro.fault.models import FAULT_MODELS
 from repro.placement.annealer import AnnealingParams
 from repro.util.errors import (
     ReproError,
@@ -255,6 +256,36 @@ def cmd_route(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _paired_faults(args: argparse.Namespace) -> list[tuple[float, tuple[int, int] | None]]:
+    """Normalize repeatable ``--cell``/``--fault-time`` into ordered
+    ``(arrival fraction, cell-or-None)`` pairs.
+
+    Both flags repeat; when both are given they must pair up
+    one-to-one (the i-th ``--cell`` fails at the i-th ``--fault-time``).
+    A lone axis broadcasts the default for the other: cells without
+    times all fail at fraction 0.5, times without cells each aim at an
+    auto-picked module cell (``None`` here, resolved by the command).
+    """
+    times = list(args.fault_time or ())
+    cells = [tuple(c) for c in (args.cell or ())]
+    if times and cells and len(times) != len(cells):
+        raise UsageError(
+            f"--cell/--fault-time must pair up one-to-one: got "
+            f"{len(cells)} --cell but {len(times)} --fault-time "
+            "(repeat the flags in matching pairs)"
+        )
+    for t in times:
+        if not 0.0 <= t < 1.0:
+            raise UsageError(f"--fault-time must be in [0, 1), got {t}")
+    if not times and not cells:
+        return []
+    n = max(len(times), len(cells))
+    return [
+        (times[i] if times else 0.5, cells[i] if cells else None)
+        for i in range(n)
+    ]
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     import time
 
@@ -262,10 +293,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.synthesis.flow import SynthesisFlow
 
     engine = "stepped" if args.stepped else "event"
-    if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
-        raise UsageError(
-            f"--fault-time must be in [0, 1), got {args.fault_time}"
-        )
+    pairs = _paired_faults(args)
     graph, binding = PROTOCOLS[args.protocol]()
     flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
     result = flow.run(graph, explicit_binding=binding)
@@ -279,11 +307,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
 
     faults: list[tuple[float, tuple[int, int]]] = []
-    if args.fault_time is not None or args.cell is not None:
-        fraction = args.fault_time if args.fault_time is not None else 0.5
+    for fraction, raw_cell in pairs:
         fault_t = fraction * result.schedule.makespan
-        if args.cell is not None:
-            cell = sim.sim_cell(tuple(args.cell))
+        if raw_cell is not None:
+            cell = sim.sim_cell(raw_cell)
         else:
             # Aim at the first module still pending at the fault instant
             # (deterministic, and actually exercises reconfiguration).
@@ -296,7 +323,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 pm.op_id for pm in sim.placement
             )[0]
             cell = sim.module_cell(target)
-        faults = [(fault_t, cell)]
+        faults.append((fault_t, cell))
 
     report = _profiled(args.profile, lambda: sim.run(faults=faults))
     best = float("inf")
@@ -463,30 +490,35 @@ def cmd_recover(args: argparse.Namespace) -> int:
         raise UsageError(
             f"unknown --target {args.target!r}; choose from {FAULT_TARGETS}"
         )
-    if args.fault_time is not None and not 0.0 <= args.fault_time < 1.0:
-        # A fraction >= 1 checkpoints after the assay finished: nothing
-        # is pending, so "recovery" would succeed vacuously.
-        raise UsageError(
-            f"--fault-time must be in [0, 1), got {args.fault_time}"
-        )
+    # A fraction >= 1 checkpoints after the assay finished: nothing
+    # is pending, so "recovery" would succeed vacuously (validated
+    # inside _paired_faults).
+    pairs = _paired_faults(args)
     if not args.sweep and (args.journal or args.resume):
         raise UsageError(
             "--journal/--resume journal the Monte-Carlo grid and "
             "need --sweep"
         )
+    if (
+        args.sensor_fpr or args.sensor_fnr or args.sensor_latency
+    ) and not args.closed_loop:
+        raise UsageError(
+            "--sensor-fpr/--sensor-fnr/--sensor-latency model the "
+            "imperfect sensing channel and need --closed-loop "
+            "(oracle detection never consults the sensor)"
+        )
 
     if args.sweep:
-        if args.cell is not None:
+        if args.cell:
             raise UsageError(
-                "--cell pins one explicit fault; it cannot be "
+                "--cell pins explicit faults; it cannot be "
                 "combined with --sweep (use --target/--fault-time to "
                 "narrow the grid instead)"
             )
         sweep = MonteCarloRecoverySweep(
             assays=protocols,
             time_fractions=(
-                (args.fault_time,) if args.fault_time is not None
-                else (0.25, 0.5, 0.75)
+                tuple(f for f, _ in pairs) if pairs else (0.25, 0.5, 0.75)
             ),
             targets=(
                 (args.target,) if args.target is not None
@@ -499,6 +531,11 @@ def cmd_recover(args: argparse.Namespace) -> int:
             ),
             seed=args.seed,
             sim_engine=args.sim_engine,
+            fault_model=args.fault_model,
+            detection="closed-loop" if args.closed_loop else "oracle",
+            sensor_fpr=args.sensor_fpr,
+            sensor_fnr=args.sensor_fnr,
+            sensor_latency_s=args.sensor_latency,
         )
         report = sweep.run(
             jobs=args.jobs,
@@ -521,7 +558,6 @@ def cmd_recover(args: argparse.Namespace) -> int:
             for r in report.records
         )
 
-    fault_fraction = args.fault_time if args.fault_time is not None else 0.5
     target = args.target if args.target is not None else "pending-module"
     engine = OnlineRecoveryEngine(
         annealing=(
@@ -530,6 +566,13 @@ def cmd_recover(args: argparse.Namespace) -> int:
         ),
         sim_engine=args.sim_engine,
     )
+    closed = (
+        args.closed_loop or args.fault_model != "permanent" or len(pairs) > 1
+    )
+    if closed:
+        return _recover_closed_loop(args, protocols, pairs, target, engine)
+
+    fault_fraction = pairs[0][0] if pairs else 0.5
     outcomes = {}
     exit_code = EXIT_OK
     for name in protocols:
@@ -543,8 +586,8 @@ def cmd_recover(args: argparse.Namespace) -> int:
             result = flow.run(graph, explicit_binding=binding)
             fault_time = fault_fraction * result.schedule.makespan
             checkpoint = engine.checkpoint_of(result, fault_time)
-            if args.cell is not None:
-                cell = tuple(args.cell)
+            if pairs and pairs[0][1] is not None:
+                cell = pairs[0][1]
             else:
                 cell = pick_fault_cell(
                     result, checkpoint, target, rng=args.seed
@@ -569,6 +612,92 @@ def cmd_recover(args: argparse.Namespace) -> int:
     elif outcomes:
         recovered = sum(1 for o in outcomes.values() if o.recovered)
         print(f"{recovered}/{len(outcomes)} assays recovered")
+    return exit_code
+
+
+def _recover_closed_loop(
+    args: argparse.Namespace,
+    protocols: list[str],
+    pairs: list[tuple[float, tuple[int, int] | None]],
+    target: str,
+    engine,
+) -> int:
+    """One closed-loop (or multi-fault oracle) run per protocol.
+
+    Each ``--cell``/``--fault-time`` pair seeds the configured
+    ``--fault-model`` process at that arrival and cell (auto-picked by
+    ``--target`` when no cell is pinned); detections happen via the
+    noisy-sensor probe loop under ``--closed-loop``, or from ground
+    truth otherwise.
+    """
+    from repro.geometry import Point
+    from repro.recovery import ClosedLoopController, pick_fault_cell
+    from repro.recovery.sweep import scenario_events
+    from repro.synthesis.flow import SynthesisFlow
+    from repro.testing.detector import CapacitiveSensor
+    from repro.util.rng import ensure_rng
+
+    mode = "closed-loop" if args.closed_loop else "oracle"
+    controller = ClosedLoopController(
+        engine=engine,
+        sensor=CapacitiveSensor(
+            false_positive_rate=args.sensor_fpr,
+            false_negative_rate=args.sensor_fnr,
+            latency_s=args.sensor_latency,
+        ),
+    )
+    outcomes = {}
+    exit_code = EXIT_OK
+    for name in protocols:
+        graph, binding = PROTOCOLS[name]()
+        flow = SynthesisFlow(
+            placer=_placer(args),
+            max_concurrent_ops=args.max_concurrent,
+            route=True,
+        )
+        try:
+            result = flow.run(graph, explicit_binding=binding)
+            makespan = result.schedule.makespan
+            width, height = result.placement_result.placement.array_dims()
+            rng = ensure_rng(args.seed)
+            events = []
+            for fraction, raw_cell in pairs or [(0.5, None)]:
+                fault_time = fraction * makespan
+                if raw_cell is not None:
+                    cell = Point(*raw_cell)
+                else:
+                    checkpoint = engine.checkpoint_of(result, fault_time)
+                    cell = pick_fault_cell(result, checkpoint, target, rng=rng)
+                events.extend(
+                    scenario_events(
+                        args.fault_model, cell, fault_time, makespan,
+                        width, height, rng,
+                    )
+                )
+            out = controller.run(result, tuple(sorted(events)), seed=args.seed, mode=mode)
+        except ReproError as exc:
+            print(f"{name}: closed-loop run errored: {type(exc).__name__}: {exc}")
+            exit_code = EXIT_INFEASIBLE
+            continue
+        outcomes[name] = out
+        if not args.json:
+            print(f"--- {name} ---")
+            for recovery in out.recoveries:
+                print(_recovery_timeline(recovery))
+                rungs = " -> ".join(
+                    f"{s.rung} {'ok' if s.succeeded else 'FAILED'}"
+                    for s in recovery.ladder_trace
+                )
+                print(f"  ladder: {rungs or recovery.rung}")
+            print(out.summary())
+            print()
+        if not out.completed:
+            exit_code = EXIT_INFEASIBLE
+    if args.json:
+        print(json.dumps({n: o.to_dict() for n, o in outcomes.items()}, indent=2))
+    elif outcomes:
+        done = sum(1 for o in outcomes.values() if o.completed)
+        print(f"{done}/{len(outcomes)} assays completed closed-loop [{mode}]")
     return exit_code
 
 
@@ -697,14 +826,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(stepped=False)
     simulate.add_argument(
-        "--fault-time", type=float, default=None, metavar="FRACTION",
+        "--fault-time", action="append", type=float, default=None,
+        metavar="FRACTION",
         help="inject a fault at this fraction of the nominal makespan "
-             "(aimed at the first still-pending module unless --cell)",
+             "(aimed at the first still-pending module unless --cell); "
+             "repeatable, pairing up one-to-one with repeated --cell",
     )
     simulate.add_argument(
-        "--cell", nargs=2, type=int, metavar=("X", "Y"), default=None,
+        "--cell", action="append", nargs=2, type=int, metavar=("X", "Y"),
+        default=None,
         help="explicit fault cell in placement coordinates "
-             "(implies a fault at --fault-time, default 0.5)",
+             "(implies a fault at --fault-time, default 0.5); repeatable, "
+             "pairing up one-to-one with repeated --fault-time",
     )
     simulate.add_argument(
         "--reps", type=int, default=3,
@@ -740,7 +873,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--faults", type=str, default="none,center",
-        help="comma-separated fault patterns (none, center, corner, pair)",
+        help="comma-separated fault patterns "
+             "(none, center, corner, pair, cluster)",
     )
     batch.add_argument(
         "--route", action=argparse.BooleanOptionalAction, default=True,
@@ -794,9 +928,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="assay to recover (default: every bundled assay)",
     )
     recover.add_argument(
-        "--fault-time", type=float, default=None, metavar="FRACTION",
+        "--fault-time", action="append", type=float, default=None,
+        metavar="FRACTION",
         help="fault arrival as a fraction of the nominal makespan [0, 1) "
-             "(default 0.5; with --sweep, narrows the arrival grid)",
+             "(default 0.5; repeatable, pairing up one-to-one with repeated "
+             "--cell; with --sweep, narrows the arrival grid)",
     )
     recover.add_argument(
         "--target", type=str, default=None,
@@ -805,8 +941,35 @@ def build_parser() -> argparse.ArgumentParser:
              "pattern grid)",
     )
     recover.add_argument(
-        "--cell", nargs=2, type=int, metavar=("X", "Y"), default=None,
-        help="explicit fault cell in placement coordinates (overrides --target)",
+        "--cell", action="append", nargs=2, type=int, metavar=("X", "Y"),
+        default=None,
+        help="explicit fault cell in placement coordinates (overrides "
+             "--target); repeatable, pairing up one-to-one with repeated "
+             "--fault-time",
+    )
+    recover.add_argument(
+        "--fault-model", choices=sorted(FAULT_MODELS), default="permanent",
+        help="fault process realized at each --cell/--fault-time pair: "
+             "permanent stuck-at, transient self-clearing, intermittent "
+             "duty-cycled, wear-out, or a spatially-clustered burst",
+    )
+    recover.add_argument(
+        "--closed-loop", action="store_true",
+        help="detect faults through the imperfect on-chip sensing channel "
+             "(probe campaigns + localization) instead of the "
+             "perfect-knowledge oracle path",
+    )
+    recover.add_argument(
+        "--sensor-fpr", type=float, default=0.0, metavar="P",
+        help="per-read sensor false-positive rate (needs --closed-loop)",
+    )
+    recover.add_argument(
+        "--sensor-fnr", type=float, default=0.0, metavar="P",
+        help="per-read sensor false-negative rate (needs --closed-loop)",
+    )
+    recover.add_argument(
+        "--sensor-latency", type=float, default=0.0, metavar="SECONDS",
+        help="sensor readout latency per probe step (needs --closed-loop)",
     )
     recover.add_argument(
         "--sweep", action="store_true",

@@ -15,11 +15,28 @@ package provides:
 * :mod:`repro.fault.reconfigure` — the on-line partial reconfiguration
   engine;
 * :mod:`repro.fault.injection` — fault injection and Monte-Carlo
-  survival estimation.
+  survival estimation;
+* :mod:`repro.fault.models` — the fault taxonomy: seeded, deterministic
+  arrival processes (permanent, transient, intermittent, wear-out,
+  clustered) driving the closed-loop recovery controller.
 """
 
 from repro.fault.fti import FTIReport, ModuleRelocatability, compute_fti
 from repro.fault.injection import FaultInjector, estimate_survival_probability
+from repro.fault.models import (
+    FAULT_MODELS,
+    ClusteredFaults,
+    FaultEvent,
+    FaultProcess,
+    IntermittentFault,
+    PermanentStuckAt,
+    RandomPermanentFaults,
+    TransientFaults,
+    WearOutProcess,
+    actuation_counts,
+    build_fault_process,
+    wearout_weight_fn,
+)
 from repro.fault.mer import (
     brute_force_maximal_empty_rectangles,
     find_maximal_empty_rectangles,
@@ -35,9 +52,18 @@ from repro.fault.tolerance import (
 )
 
 __all__ = [
+    "FAULT_MODELS",
     "FTIReport",
+    "ClusteredFaults",
+    "FaultEvent",
     "FaultInjector",
+    "FaultProcess",
+    "IntermittentFault",
     "ModuleCriticality",
+    "PermanentStuckAt",
+    "RandomPermanentFaults",
+    "TransientFaults",
+    "WearOutProcess",
     "ModuleRelocatability",
     "MultiFaultResult",
     "PartialReconfigurer",
@@ -47,9 +73,12 @@ __all__ = [
     "Staircase",
     "Step",
     "ToleranceAnalyzer",
+    "actuation_counts",
     "brute_force_maximal_empty_rectangles",
+    "build_fault_process",
     "compute_fti",
     "estimate_survival_probability",
     "find_maximal_empty_rectangles",
     "fits_any_rectangle",
+    "wearout_weight_fn",
 ]

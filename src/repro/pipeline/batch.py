@@ -70,10 +70,10 @@ class FaultPattern:
     """
 
     name: str
-    kind: str = "cells"  # cells | none | center | corner | pair
+    kind: str = "cells"  # cells | none | center | corner | pair | cluster
     cells: tuple[Point, ...] = ()
 
-    _KINDS = ("cells", "none", "center", "corner", "pair")
+    _KINDS = ("cells", "none", "center", "corner", "pair", "cluster")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -102,6 +102,16 @@ class FaultPattern:
         return cls("pair", kind="pair")
 
     @classmethod
+    def cluster(cls) -> FaultPattern:
+        """A spatially-correlated burst of dead electrodes.
+
+        Realized from :class:`repro.fault.models.ClusteredFaults` under
+        a fixed seed, so the burst lands at the same cells for a given
+        array size on every run (and in every worker process).
+        """
+        return cls("cluster", kind="cluster")
+
+    @classmethod
     def explicit(cls, name: str, cells: Sequence[Point | tuple[int, int]]) -> FaultPattern:
         """Faults at explicit placement coordinates."""
         return cls(name, kind="cells", cells=tuple(Point(*c) for c in cells))
@@ -118,6 +128,16 @@ class FaultPattern:
             return (corner,)
         if self.kind == "pair":
             return (corner, center) if corner != center else (center,)
+        if self.kind == "cluster":
+            from repro.fault.models import FAIL, ClusteredFaults
+
+            process = ClusteredFaults(width, height, horizon_s=1.0)
+            cells = {
+                e.cell: None
+                for e in process.realize(2005)
+                if e.kind == FAIL
+            }
+            return tuple(cells)
         return self.cells
 
 
@@ -127,6 +147,7 @@ BUILTIN_FAULT_PATTERNS: Mapping[str, FaultPattern] = {
     "center": FaultPattern.center(),
     "corner": FaultPattern.corner(),
     "pair": FaultPattern.pair(),
+    "cluster": FaultPattern.cluster(),
 }
 
 

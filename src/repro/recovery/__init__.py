@@ -8,7 +8,14 @@ story — a chip that keeps executing after a cell dies mid-run:
 * :class:`OnlineRecoveryEngine` — checkpoint the live state, warm-start
   re-place the pending modules around the frozen in-flight ones,
   re-route only the suffix epochs against the new fault mask, and
-  resume the simulator.
+  resume the simulator; :data:`RECOVERY_RUNGS` names its
+  graceful-degradation levels (suffix re-route only / re-place +
+  re-route / escalated warm-restart re-synthesis).
+* :class:`ClosedLoopController` — detection-driven recovery: faults
+  become visible only through imperfect probe campaigns
+  (:mod:`repro.testing`), confirmed detections climb the rung ladder,
+  missed faults fall to the stuck-droplet watchdog, and an ``oracle``
+  mode keeps the perfect-knowledge reference path.
 * :class:`MonteCarloRecoverySweep` — fan (assay x fault-arrival x
   fault-pattern) scenarios over worker processes and report
   recovery-success rate, makespan penalty, and re-synthesis latency.
@@ -16,8 +23,16 @@ story — a chip that keeps executing after a cell dies mid-run:
   snapshot (re-exported from :mod:`repro.sim.engine`).
 """
 
+from repro.recovery.closedloop import (
+    DETECTION_MODES,
+    ClosedLoopController,
+    ClosedLoopOutcome,
+    Detection,
+    LadderStep,
+)
 from repro.recovery.engine import (
     FAULT_TARGETS,
+    RECOVERY_RUNGS,
     FaultAvoidanceCost,
     OnlineRecoveryEngine,
     RecoveryOutcome,
@@ -31,8 +46,14 @@ from repro.recovery.sweep import (
 from repro.sim.engine import SimCheckpoint
 
 __all__ = [
+    "DETECTION_MODES",
     "FAULT_TARGETS",
+    "RECOVERY_RUNGS",
+    "ClosedLoopController",
+    "ClosedLoopOutcome",
+    "Detection",
     "FaultAvoidanceCost",
+    "LadderStep",
     "MonteCarloRecoverySweep",
     "OnlineRecoveryEngine",
     "RecoveryOutcome",

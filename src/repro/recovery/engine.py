@@ -68,6 +68,24 @@ from repro.util.rng import ensure_rng, spawn_rng
 #: Fault-target kinds :func:`pick_fault_cell` understands.
 FAULT_TARGETS = ("pending-module", "in-flight-module", "center", "street")
 
+#: Graceful-degradation rungs :meth:`OnlineRecoveryEngine.recover`
+#: understands, cheapest first. The closed-loop controller climbs them
+#: in order (and appends its terminal ``"abort"`` rung on top):
+#:
+#: * ``reroute`` — suffix re-route only: no module moves at all. Sound
+#:   only when no pending/in-flight module covers a dead cell; the
+#:   engine fails fast (never silently escalates) otherwise.
+#: * ``replace`` — the standard path: MER rescue of hit modules, the
+#:   anchored warm-restart anneal, then suffix re-route.
+#: * ``resynth`` — escalated warm restart: a hotter annealing schedule,
+#:   the nominal-anchor term dropped (the layout may now diverge
+#:   freely), extra space-redundancy slack, and — uniquely — a
+#:   degraded-plan tolerance: a suffix net the router cannot close is
+#:   delegated to the replay's own partial reconfiguration, and the
+#:   verified replay's completion is the arbiter (``plan_verified``
+#:   stays False on such outcomes).
+RECOVERY_RUNGS = ("reroute", "replace", "resynth")
+
 
 class FaultAvoidanceCost(AreaCost):
     """Warm-restart objective: area + fault penalty + anchor term.
@@ -185,6 +203,14 @@ class RecoveryOutcome:
     placement: Placement | None = None
     routing_plan: RoutingPlan | None = None
     sim_report: SimulationReport | None = None
+    #: Graceful-degradation rung this outcome was produced at (one of
+    #: :data:`RECOVERY_RUNGS`).
+    rung: str = "replace"
+    #: Structured ladder trace: every rung the closed-loop controller
+    #: climbed for this detection (objects with ``to_dict()``, see
+    #: :class:`repro.recovery.closedloop.LadderStep`). Empty for direct
+    #: single-rung ``recover()`` calls.
+    ladder_trace: tuple = ()
 
     @property
     def makespan_penalty_s(self) -> float:
@@ -212,6 +238,8 @@ class RecoveryOutcome:
             "suffix_epochs": self.suffix_epochs,
             "rerouted_nets": self.rerouted_nets,
             "plan_verified": self.plan_verified,
+            "rung": self.rung,
+            "ladder": [step.to_dict() for step in self.ladder_trace],
             "sim": self.sim_report.to_dict() if self.sim_report is not None else None,
         }
 
@@ -324,12 +352,21 @@ class OnlineRecoveryEngine:
         reconfigurer: PartialReconfigurer | None = None,
         synthesizer: RoutingSynthesizer | None = None,
         sim_engine: str = "event",
+        resynth_annealing: AnnealingParams | None = None,
     ) -> None:
         #: Warm-restart schedule: start cool, move little — the nominal
         #: placement is already near-optimal and only the fault
         #: neighborhood needs rework.
         self.annealing = (
             annealing if annealing is not None else AnnealingParams.low_temperature()
+        )
+        #: Escalated schedule for the ``resynth`` ladder rung: hotter,
+        #: so the layout can escape the nominal basin once minimal
+        #: perturbation has already failed.
+        self.resynth_annealing = (
+            resynth_annealing
+            if resynth_annealing is not None
+            else AnnealingParams.balanced()
         )
         self.margin = margin
         self.fault_weight = fault_weight
@@ -411,6 +448,7 @@ class OnlineRecoveryEngine:
         seed: int | random.Random | None = None,
         checkpoint: SimCheckpoint | None = None,
         known_faults=(),
+        rung: str = "replace",
     ) -> RecoveryOutcome:
         """Run the full checkpoint -> re-synthesize -> resume loop.
 
@@ -420,7 +458,14 @@ class OnlineRecoveryEngine:
         one checkpoint across fault patterns at the same arrival time).
         *known_faults* are design-time defects the nominal plan already
         avoids; the re-synthesized suffix keeps avoiding them too.
+        *rung* picks the graceful-degradation level (see
+        :data:`RECOVERY_RUNGS`); the default is the standard re-place +
+        re-route path every historical caller used.
         """
+        if rung not in RECOVERY_RUNGS:
+            raise RecoveryError(
+                f"unknown recovery rung {rung!r}; choose from {RECOVERY_RUNGS}"
+            )
         faults = tuple(Point(*c) for c in fault_cells)
         known = tuple(Point(*c) for c in known_faults)
         if not faults:
@@ -451,6 +496,7 @@ class OnlineRecoveryEngine:
                 replace_s=replace_s,
                 reroute_s=reroute_s,
                 recovery_s=time.perf_counter() - t0,
+                rung=rung,
                 **extra,
             )
 
@@ -461,6 +507,28 @@ class OnlineRecoveryEngine:
             op for op in checkpoint.pending if op in nominal_placement
         )
         relocated: list[str] = []
+        all_faults = faults + tuple(f for f in known if f not in faults)
+
+        if rung == "reroute":
+            # Suffix re-route is sound only when every still-needed
+            # module sits clear of the dead cells; a hit module needs a
+            # higher rung, and the engine says so instead of silently
+            # escalating (the ladder's rung accounting depends on it).
+            hit = sorted(
+                op
+                for op in (*checkpoint.pending, *checkpoint.in_flight)
+                if op in nominal_placement
+                and any(
+                    nominal_placement.get(op).footprint.contains_point(f)
+                    for f in faults
+                )
+            )
+            if hit:
+                return failed(
+                    "suffix re-route alone cannot clear module(s) "
+                    f"{', '.join(hit)} off the dead cell(s)"
+                )
+            movable = ()
 
         # -- phase 1: re-place the pending modules ------------------------
         # Sub-passes: a best-effort MER relocation of directly-hit
@@ -469,18 +537,26 @@ class OnlineRecoveryEngine:
         # module site exists), then a final MER retry on the annealed
         # layout. The working core is the nominal bounding array plus
         # the space-redundancy slack; coordinates are never shifted.
+        # The ``resynth`` rung claims extra slack — by the time the
+        # ladder reaches it, minimal perturbation has already failed.
+        slack = self.core_slack + (2 if rung == "resynth" else 0)
         conservative = Placement(
-            nominal_placement.core_width + self.core_slack,
-            nominal_placement.core_height + self.core_slack,
+            nominal_placement.core_width + slack,
+            nominal_placement.core_height + slack,
             modules=nominal_placement,
             pitch_mm=nominal_placement.pitch_mm,
         )
-        all_faults = faults + tuple(f for f in known if f not in faults)
         relocated, _ = self._rescue_hit_modules(conservative, movable, all_faults)
         annealed = conservative
         if movable:
             annealed = self._warm_anneal(
-                conservative, movable, all_faults, nominal_placement, seed
+                conservative,
+                movable,
+                all_faults,
+                nominal_placement,
+                seed,
+                params=self.resynth_annealing if rung == "resynth" else None,
+                anchor_weight=0.0 if rung == "resynth" else None,
             )
             still_hit, _ = self._rescue_hit_modules(annealed, movable, all_faults)
             relocated = sorted(set(relocated) | set(still_hit))
@@ -506,7 +582,9 @@ class OnlineRecoveryEngine:
                     result, checkpoint, working, nominal_placement, movable,
                     relocated, faults, known, all_faults, fault_time_s,
                     replace_s, t0,
+                    require_plan=rung != "resynth",
                 )
+                attempt.rung = rung
                 if not attempt.recovered:
                     # A pending module the placement layer could not pull
                     # off the dead cell was delegated to the simulator's
@@ -547,8 +625,18 @@ class OnlineRecoveryEngine:
         fault_time_s: float,
         replace_s: float,
         t0: float,
+        require_plan: bool = True,
     ) -> RecoveryOutcome:
-        """Suffix re-route + resumed replay for one candidate layout."""
+        """Suffix re-route + resumed replay for one candidate layout.
+
+        *require_plan* is the graceful-degradation knob: when False
+        (the ladder's last rung before abort), a suffix net the router
+        could not close does not fail the recovery by itself — the
+        resumed replay's own partial reconfiguration handles those
+        transports ad hoc, and the replay's verified completion is the
+        arbiter. The degradation stays visible: ``plan_verified`` is
+        False on such outcomes.
+        """
         # -- phase 2: re-route the suffix ----------------------------------
         # Strictly-before split: an epoch released exactly at the fault
         # instant executes against the already-dead cell, so it belongs
@@ -617,11 +705,11 @@ class OnlineRecoveryEngine:
                 nominal_placement.get(op).rotated,
             )
         )
-        recovered = report.completed and plan_ok
+        recovered = report.completed and (plan_ok or not require_plan)
         reason = None
         if not report.completed:
             reason = f"resumed replay failed: {report.failure_reason}"
-        elif not plan_ok:
+        elif not plan_ok and require_plan:
             reason = plan_reason
         return RecoveryOutcome(
             fault_time_s=fault_time_s,
@@ -675,23 +763,30 @@ class OnlineRecoveryEngine:
         faults: tuple[Point, ...],
         nominal: Placement,
         seed: int | random.Random | None,
+        params: AnnealingParams | None = None,
+        anchor_weight: float | None = None,
     ) -> Placement:
         """Warm-started low-temperature anneal of the pending modules
         around the frozen ones, anchored to the nominal layout. Falls
         back to the pre-anneal placement when the anneal's best is
         worse off (infeasible, or touching a fault the input avoided).
+        The ``resynth`` rung overrides *params* (hotter schedule) and
+        sets *anchor_weight* to 0 (the nominal basin no longer binds).
         """
         rng = ensure_rng(seed)
-        params = self.annealing
+        if params is None:
+            params = self.annealing
         window = params.make_window(
             max_span=max(working.core_width, working.core_height)
         )
         mover = MoveGenerator(window=window, movable=movable, seed=spawn_rng(rng))
         engine = SimulatedAnnealing(params, window=window, seed=rng)
+        anchor_kwargs = {} if anchor_weight is None else {"anchor_weight": anchor_weight}
         cost = FaultAvoidanceCost(
             faults,
             anchors={op: (nominal.get(op).x, nominal.get(op).y) for op in movable},
             fault_weight=self.fault_weight,
+            **anchor_kwargs,
         )
         evaluator = IncrementalCostEvaluator(
             working.copy(), warm_from=self._warm_template

@@ -6,6 +6,17 @@ over a grid: for each bundled assay, for each fault-arrival fraction of
 the nominal makespan, for each fault-target kind, inject one fault and
 drive the :class:`~repro.recovery.engine.OnlineRecoveryEngine`.
 
+Two orthogonal axes extend the grid beyond the original single
+permanent fault with oracle knowledge: *fault_model* picks the fault
+process (:data:`repro.fault.models.FAULT_MODELS` — permanent,
+transient, intermittent, wearout, cluster; the scenario's arrival time
+and target cell pin the process so sweeps stay comparable across
+models), and *detection* picks how faults become known —
+``oracle`` (ground truth, the historical path, bit-identical to the
+seed behavior for the permanent model) or ``closed-loop``
+(:class:`~repro.recovery.closedloop.ClosedLoopController` with a
+configurable noisy sensor: detections only via probe campaigns).
+
 Execution mirrors :mod:`repro.pipeline.batch`: one worker unit per
 assay (the nominal synthesis — the fault-independent prefix — is
 computed once and reused by every scenario of that assay, and the
@@ -33,16 +44,19 @@ from repro.exec import (
     SupervisedPool,
     load_journal,
 )
+from repro.fault.models import CLEAR, FAIL, FAULT_MODELS, FaultEvent
 from repro.geometry import Point
 from repro.pipeline.context import SynthesisContext
 from repro.pipeline.pipeline import build_default_pipeline
 from repro.placement.annealer import AnnealingParams
 from repro.placement.sa_placer import SimulatedAnnealingPlacer
+from repro.recovery.closedloop import DETECTION_MODES, ClosedLoopController
 from repro.recovery.engine import (
     FAULT_TARGETS,
     OnlineRecoveryEngine,
     pick_fault_cell,
 )
+from repro.testing.detector import CapacitiveSensor
 from repro.util.errors import RecoveryError, ReproError
 from repro.util.rng import ensure_rng, spawn_rng, spawn_seed
 from repro.util.tables import format_table
@@ -69,6 +83,15 @@ class _SweepSpec:
     recovery_annealing: AnnealingParams | None
     max_concurrent_ops: int | None
     sim_engine: str = "event"
+    #: Fault process (:data:`repro.fault.models.FAULT_MODELS` name) the
+    #: scenarios realize; ``permanent`` is the historical single fault.
+    fault_model: str = "permanent"
+    #: ``oracle`` (ground-truth detection, the historical path) or
+    #: ``closed-loop`` (sensed detection via probe campaigns).
+    detection: str = "oracle"
+    sensor_fpr: float = 0.0
+    sensor_fnr: float = 0.0
+    sensor_latency_s: float = 0.0
     #: Scenario keys already journaled — the worker skips these while
     #: still consuming their pre-derived seeds, so the remaining
     #: scenarios use exactly the seeds an uninterrupted run would.
@@ -106,6 +129,18 @@ class RecoveryRecord:
     #: (recovered or not), ``timeout`` / ``crashed`` when the assay
     #: block's worker was lost past the retry budget.
     status: str = STATUS_OK
+    #: How the fault became known: ``oracle`` or ``closed-loop``.
+    detection: str = "oracle"
+    #: Fault process the scenario realized.
+    fault_model: str = "permanent"
+    #: Mean sensed detection latency (seconds); 0 for oracle runs,
+    #: ``None`` when nothing was detected.
+    detection_latency_s: float | None = 0.0
+    #: Ladder rung that closed the run (``None`` when fault-free or
+    #: undetected; ``abort`` when the ladder was exhausted).
+    ladder_rung: str | None = None
+    #: Sensor readings dismissed by the confirmation re-probe.
+    false_alarms: int = 0
 
     @property
     def key(self) -> str:
@@ -131,6 +166,11 @@ class RecoveryRecord:
             "reused_epochs": self.reused_epochs,
             "upstream_reused": self.upstream_reused,
             "status": self.status,
+            "detection": self.detection,
+            "fault_model": self.fault_model,
+            "detection_latency_s": self.detection_latency_s,
+            "ladder_rung": self.ladder_rung,
+            "false_alarms": self.false_alarms,
         }
 
     @classmethod
@@ -153,6 +193,11 @@ class RecoveryRecord:
             reused_epochs=record["reused_epochs"],
             upstream_reused=record["upstream_reused"],
             status=record.get("status", STATUS_OK),
+            detection=record.get("detection", "oracle"),
+            fault_model=record.get("fault_model", "permanent"),
+            detection_latency_s=record.get("detection_latency_s", 0.0),
+            ladder_rung=record.get("ladder_rung"),
+            false_alarms=record.get("false_alarms", 0),
         )
 
 
@@ -186,6 +231,25 @@ class RecoverySweepReport:
         lat = [r.recovery_s for r in self.records]
         return sum(lat) / len(lat) if lat else 0.0
 
+    @property
+    def rung_frequencies(self) -> dict[str, int]:
+        """How often each graceful-degradation rung closed a scenario."""
+        freq: dict[str, int] = {}
+        for r in self.records:
+            if r.ladder_rung is not None:
+                freq[r.ladder_rung] = freq.get(r.ladder_rung, 0) + 1
+        return dict(sorted(freq.items()))
+
+    @property
+    def mean_detection_latency_s(self) -> float:
+        """Mean detection latency over scenarios that detected anything."""
+        lat = [
+            r.detection_latency_s
+            for r in self.records
+            if r.detection_latency_s is not None
+        ]
+        return sum(lat) / len(lat) if lat else 0.0
+
     def to_dict(self) -> dict:
         return {
             "seed": self.seed,
@@ -196,6 +260,8 @@ class RecoverySweepReport:
             "success_rate": self.success_rate,
             "mean_makespan_penalty_s": self.mean_penalty_s,
             "mean_recovery_s": self.mean_recovery_s,
+            "mean_detection_latency_s": self.mean_detection_latency_s,
+            "rung_frequencies": self.rung_frequencies,
             "scenarios": [r.to_dict() for r in self.records],
         }
 
@@ -207,6 +273,7 @@ class RecoverySweepReport:
                 r.target,
                 str(r.fault_cell) if r.fault_cell else "-",
                 "recovered" if r.recovered else f"FAILED ({r.reason})",
+                r.ladder_rung or "-",
                 f"{r.makespan_penalty_s:g}",
                 f"{r.recovery_s * 1000:.1f}",
                 r.rerouted_nets,
@@ -215,8 +282,8 @@ class RecoverySweepReport:
             for r in self.records
         ]
         return format_table(
-            ("assay", "arrival", "target", "cell", "outcome", "penalty s",
-             "resynth ms", "nets", "reused"),
+            ("assay", "arrival", "target", "cell", "outcome", "rung",
+             "penalty s", "resynth ms", "nets", "reused"),
             rows,
         )
 
@@ -228,6 +295,69 @@ class RecoverySweepReport:
             f"{self.mean_recovery_s * 1000:.1f} ms "
             f"(jobs={self.jobs}, {self.wall_s:.1f} s wall)"
         )
+
+
+def scenario_events(
+    model: str,
+    cell: Point,
+    fault_time: float,
+    makespan: float,
+    width: int,
+    height: int,
+    rng,
+) -> tuple[FaultEvent, ...]:
+    """Realize one scenario's fault timeline, pinned for comparability.
+
+    Every model anchors its (first) fault at the sweep cell's arrival
+    instant and target cell, so success rates and latencies are
+    comparable across models — the *process* differs, not the grid:
+    ``permanent`` is the degenerate single fail, ``transient``
+    self-clears after 15% of the makespan, ``intermittent``
+    duty-cycles with a 20%-makespan period until the horizon,
+    ``wearout`` is a permanent fail whose cause records the hazard
+    mechanism, and ``cluster`` additionally kills up to two random
+    Chebyshev-adjacent neighbors at the same instant.
+    """
+    def mk(t: float, kind: str, cause: str) -> FaultEvent:
+        return FaultEvent(time_s=t, cell=cell, kind=kind, cause=cause)
+    if model == "permanent":
+        return (mk(fault_time, FAIL, "permanent"),)
+    if model == "wearout":
+        return (mk(fault_time, FAIL, "wearout"),)
+    if model == "transient":
+        clear = fault_time + 0.15 * makespan
+        events = [mk(fault_time, FAIL, "transient")]
+        if clear < makespan:
+            events.append(mk(clear, CLEAR, "transient"))
+        return tuple(events)
+    if model == "intermittent":
+        period = max(0.2 * makespan, 1e-9)
+        events, t, kind = [], fault_time, FAIL
+        while t < makespan:
+            events.append(mk(t, kind, "intermittent"))
+            t += period / 2.0
+            kind = CLEAR if kind == FAIL else FAIL
+        return tuple(events) or (mk(fault_time, FAIL, "intermittent"),)
+    if model == "cluster":
+        neighborhood = sorted(
+            Point(x, y)
+            for x in range(max(1, cell.x - 1), min(width, cell.x + 1) + 1)
+            for y in range(max(1, cell.y - 1), min(height, cell.y + 1) + 1)
+            if (x, y) != (cell.x, cell.y)
+        )
+        extras = (
+            rng.sample(neighborhood, min(2, len(neighborhood)))
+            if neighborhood
+            else []
+        )
+        cells = [cell] + sorted(extras)
+        return tuple(
+            FaultEvent(time_s=fault_time, cell=c, kind=FAIL, cause="cluster")
+            for c in cells
+        )
+    raise RecoveryError(
+        f"unknown fault model {model!r}; choose from {sorted(FAULT_MODELS)}"
+    )
 
 
 def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
@@ -268,6 +398,19 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
     engine = OnlineRecoveryEngine(
         annealing=spec.recovery_annealing, sim_engine=spec.sim_engine
     )
+    #: The historical fast path — a single permanent fault with oracle
+    #: knowledge — calls the engine directly and stays bit-identical to
+    #: the seed behavior; everything else goes through the controller.
+    legacy = spec.detection == "oracle" and spec.fault_model == "permanent"
+    controller = None
+    if not legacy:
+        sensor = CapacitiveSensor(
+            false_positive_rate=spec.sensor_fpr,
+            false_negative_rate=spec.sensor_fnr,
+            latency_s=spec.sensor_latency_s,
+        )
+        controller = ClosedLoopController(engine=engine, sensor=sensor)
+    width, height = result.placement_result.placement.array_dims()
     makespan = result.schedule.makespan
     seeds = iter(spec.scenario_seeds)
     sidx = 0  # position in the block; 0 computed the nominal synthesis
@@ -305,9 +448,40 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
                 continue
             scenario_rng = ensure_rng(scenario_seed)
             cell = pick_fault_cell(result, checkpoint, target, rng=scenario_rng)
-            outcome = engine.recover(
-                result, [cell], fault_time, seed=scenario_rng, checkpoint=checkpoint
+            if legacy:
+                outcome = engine.recover(
+                    result, [cell], fault_time, seed=scenario_rng,
+                    checkpoint=checkpoint,
+                )
+                records.append(
+                    RecoveryRecord(
+                        assay=spec.assay,
+                        time_fraction=fraction,
+                        target=target,
+                        fault_time_s=fault_time,
+                        fault_cell=cell,
+                        recovered=outcome.recovered,
+                        reason=outcome.reason,
+                        makespan_penalty_s=outcome.makespan_penalty_s,
+                        replace_s=outcome.replace_s,
+                        reroute_s=outcome.reroute_s,
+                        recovery_s=outcome.recovery_s,
+                        rerouted_nets=outcome.rerouted_nets,
+                        reused_epochs=outcome.reused_epochs,
+                        upstream_reused=reused,
+                        ladder_rung=outcome.rung if outcome.recovered else None,
+                    )
+                )
+                continue
+            events = scenario_events(
+                spec.fault_model, cell, fault_time, makespan,
+                width, height, scenario_rng,
             )
+            assert controller is not None
+            out = controller.run(
+                result, events, seed=scenario_rng, mode=spec.detection
+            )
+            latencies = out.detection_latencies
             records.append(
                 RecoveryRecord(
                     assay=spec.assay,
@@ -315,15 +489,24 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
                     target=target,
                     fault_time_s=fault_time,
                     fault_cell=cell,
-                    recovered=outcome.recovered,
-                    reason=outcome.reason,
-                    makespan_penalty_s=outcome.makespan_penalty_s,
-                    replace_s=outcome.replace_s,
-                    reroute_s=outcome.reroute_s,
-                    recovery_s=outcome.recovery_s,
-                    rerouted_nets=outcome.rerouted_nets,
-                    reused_epochs=outcome.reused_epochs,
+                    recovered=out.completed,
+                    reason=out.reason,
+                    makespan_penalty_s=out.makespan_penalty_s,
+                    replace_s=sum(r.replace_s for r in out.recoveries),
+                    reroute_s=sum(r.reroute_s for r in out.recoveries),
+                    recovery_s=sum(r.recovery_s for r in out.recoveries),
+                    rerouted_nets=sum(r.rerouted_nets for r in out.recoveries),
+                    reused_epochs=(
+                        out.recoveries[-1].reused_epochs if out.recoveries else 0
+                    ),
                     upstream_reused=reused,
+                    detection=spec.detection,
+                    fault_model=spec.fault_model,
+                    detection_latency_s=(
+                        sum(latencies) / len(latencies) if latencies else None
+                    ),
+                    ladder_rung=out.final_rung,
+                    false_alarms=len(out.false_alarms),
                 )
             )
     return records
@@ -348,6 +531,11 @@ class MonteCarloRecoverySweep:
         max_concurrent_ops: int | None = 3,
         seed: int = 7,
         sim_engine: str = "event",
+        fault_model: str = "permanent",
+        detection: str = "oracle",
+        sensor_fpr: float = 0.0,
+        sensor_fnr: float = 0.0,
+        sensor_latency_s: float = 0.0,
     ) -> None:
         unknown = [a for a in assays if a not in BUNDLED_ASSAYS]
         if unknown:
@@ -379,6 +567,28 @@ class MonteCarloRecoverySweep:
                 "choose 'event' or 'stepped'"
             )
         self.sim_engine = sim_engine
+        if fault_model not in FAULT_MODELS:
+            raise RecoveryError(
+                f"unknown fault model {fault_model!r}; "
+                f"choose from {sorted(FAULT_MODELS)}"
+            )
+        if detection not in DETECTION_MODES:
+            raise RecoveryError(
+                f"unknown detection mode {detection!r}; "
+                f"choose from {DETECTION_MODES}"
+            )
+        self.fault_model = fault_model
+        self.detection = detection
+        # Sensor rate/latency validation is the sensor's own job; fail
+        # here, at sweep construction, not inside a worker process.
+        CapacitiveSensor(
+            false_positive_rate=sensor_fpr,
+            false_negative_rate=sensor_fnr,
+            latency_s=sensor_latency_s,
+        )
+        self.sensor_fpr = sensor_fpr
+        self.sensor_fnr = sensor_fnr
+        self.sensor_latency_s = sensor_latency_s
 
     def _specs(self) -> list[_SweepSpec]:
         """One spec per assay with all seeds pre-derived (jobs-invariant)."""
@@ -399,6 +609,11 @@ class MonteCarloRecoverySweep:
                     recovery_annealing=self.recovery_annealing,
                     max_concurrent_ops=self.max_concurrent_ops,
                     sim_engine=self.sim_engine,
+                    fault_model=self.fault_model,
+                    detection=self.detection,
+                    sensor_fpr=self.sensor_fpr,
+                    sensor_fnr=self.sensor_fnr,
+                    sensor_latency_s=self.sensor_latency_s,
                 )
             )
         return specs

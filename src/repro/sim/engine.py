@@ -72,7 +72,7 @@ class SimEvent:
     """One timestamped entry of the simulation log."""
 
     time: float
-    kind: str  # dispense | transport | op-start | op-finish | fault | relocation | output
+    kind: str  # dispense | transport | op-start | op-finish | fault | repair | relocation | output
     detail: str
     op_id: str | None = None
 
@@ -156,6 +156,52 @@ class _OpState:
 _PHASE_REALIZE = 0
 _PHASE_REPLAY = 1
 
+#: Fault-injection kinds: a cell dies / a transient cell heals.
+_FAULT_KINDS = ("fail", "clear")
+
+#: One normalized fault-timeline entry: ``(time, cell, kind)``.
+FaultEntry = tuple[float, Point, str]
+
+
+def _normalize_faults(faults) -> list[FaultEntry]:
+    """Normalize fault injections to time-sorted ``(time, cell, kind)``.
+
+    Accepts the historical ``(time, cell)`` pairs (kind defaults to
+    ``"fail"`` — permanent faults) alongside explicit triples, so every
+    existing caller keeps working while fault processes inject
+    self-clearing timelines. The sort is stable: same-instant entries
+    keep their given order (a caller listing ``fail`` before ``clear``
+    at one instant means exactly that).
+    """
+    out: list[FaultEntry] = []
+    for entry in faults:
+        if len(entry) == 2:
+            t, c = entry
+            kind = "fail"
+        else:
+            t, c, kind = entry
+            if kind not in _FAULT_KINDS:
+                raise ValueError(
+                    f"fault kind must be one of {_FAULT_KINDS}, got {kind!r}"
+                )
+        out.append((float(t), Point(*c), kind))
+    out.sort(key=lambda fck: fck[0])
+    return out
+
+
+def _active_fault_cells(faults: list[FaultEntry], now: float) -> list[Point]:
+    """Cells faulty at instant *now* under the (time-sorted) timeline:
+    fails add a cell, clears remove it, first-failure order preserved."""
+    active: dict[Point, None] = {}
+    for t, cell, kind in faults:
+        if t > now:
+            break
+        if kind == "fail":
+            active[cell] = None
+        else:
+            active.pop(cell, None)
+    return list(active)
+
 #: Completed runs retained for checkpoint-by-log-truncation, per
 #: simulator (keyed by fault list — a deterministic replay never goes
 #: stale, the cap only bounds memory).
@@ -192,8 +238,9 @@ class SimCheckpoint:
 
     #: Instant the checkpoint was taken at (seconds).
     time_s: float
-    #: Every fault that had fired by ``time_s``, ``(time, cell)``.
-    faults: tuple[tuple[float, Point], ...]
+    #: Every fault event that had fired by ``time_s``, normalized to
+    #: ``(time, cell, kind)`` (kind ``"fail"`` or ``"clear"``).
+    faults: tuple[FaultEntry, ...]
     #: Operations whose realized interval ended at or before ``time_s``.
     completed: tuple[str, ...]
     #: Operations running at ``time_s`` (their modules are frozen:
@@ -219,7 +266,10 @@ class SimCheckpoint:
         """JSON-safe summary (events and placement condensed to counts)."""
         return {
             "time_s": self.time_s,
-            "faults": [[t, [c.x, c.y]] for t, c in self.faults],
+            "faults": [
+                [f[0], [f[1][0], f[1][1]], f[2] if len(f) > 2 else "fail"]
+                for f in self.faults
+            ],
             "completed": list(self.completed),
             "in_flight": list(self.in_flight),
             "pending": list(self.pending),
@@ -287,7 +337,10 @@ class SimCheckpoint:
         unknown = sorted(set(self.droplet_positions) - scheduled)
         if unknown:
             raise bad(f"parked droplets from unscheduled operations: {unknown}")
-        late = [f"t={t:g}" for t, _ in self.faults if t > self.time_s + eps]
+        # Index (not unpack): entries may be legacy ``(t, cell)`` pairs,
+        # and this validator must reject mangled shapes with its own
+        # error, not trip over them.
+        late = [f"t={f[0]:g}" for f in self.faults if f[0] > self.time_s + eps]
         if late:
             raise bad(f"recorded faults after the checkpoint instant: {late}")
         stale = [e for e in self.events_prefix if e.time > self.time_s + eps]
@@ -431,20 +484,28 @@ class BiochipSimulator:
         dx, dy = self._norm_offset
         return Point(p[0] + dx, p[1] + dy)
 
-    def run(self, faults: Iterable[tuple[float, Point | tuple[int, int]]] = ()) -> SimulationReport:
-        """Execute the assay, injecting each ``(time, cell)`` fault.
+    def run(self, faults: Iterable[tuple] = ()) -> SimulationReport:
+        """Execute the assay, injecting each fault-timeline entry.
 
-        Fault cells are given in the *simulator's* coordinates (the
-        placement shifted by ``margin``); use
-        :meth:`module_cell` to aim at a particular module.
+        Entries are ``(time, cell)`` pairs (permanent faults, the
+        historical form) or ``(time, cell, kind)`` triples with kind
+        ``"fail"`` or ``"clear"`` — the form fault processes emit for
+        transient/intermittent faults. Fault cells are given in the
+        *simulator's* coordinates (the placement shifted by
+        ``margin``); use :meth:`module_cell` to aim at a particular
+        module, or :meth:`sim_cell` to map placement coordinates.
+
+        A ``clear`` repairs the cell from its instant on (later
+        transports may route through it again); it does **not** undo
+        relocations or delays the earlier ``fail`` already caused —
+        the controller cannot foresee self-recovery, so the rescue it
+        triggered stands.
         """
         self._reset_run_state()
         events: list[SimEvent] = []
         relocations: list[Relocation] = []
         self._planned_transports = 0
-        fault_list = sorted(
-            ((float(t), Point(*c)) for t, c in faults), key=lambda fc: fc[0]
-        )
+        fault_list = _normalize_faults(faults)
 
         try:
             if self.engine == "event":
@@ -489,7 +550,7 @@ class BiochipSimulator:
 
     def _remember_run(
         self,
-        fault_list: list[tuple[float, Point]],
+        fault_list: list[FaultEntry],
         report: SimulationReport,
         states: dict[str, _OpState],
     ) -> None:
@@ -517,7 +578,7 @@ class BiochipSimulator:
     def checkpoint(
         self,
         time_s: float,
-        faults: Iterable[tuple[float, Point | tuple[int, int]]] = (),
+        faults: Iterable[tuple] = (),
     ) -> SimCheckpoint:
         """Capture the live state at *time_s* under the faults fired so far.
 
@@ -528,9 +589,7 @@ class BiochipSimulator:
         prefix. Raises :class:`SimulationError` when the underlying run
         does not complete (there is no consistent state to capture).
         """
-        fault_list = sorted(
-            ((float(t), Point(*c)) for t, c in faults), key=lambda fc: fc[0]
-        )
+        fault_list = _normalize_faults(faults)
         late = [f for f in fault_list if f[0] > time_s]
         if late:
             raise ValueError(
@@ -591,7 +650,7 @@ class BiochipSimulator:
     def resume(
         self,
         checkpoint: SimCheckpoint,
-        new_faults: Iterable[tuple[float, Point | tuple[int, int]]] = (),
+        new_faults: Iterable[tuple] = (),
     ) -> SimulationReport:
         """Resume from *checkpoint*, optionally injecting *new_faults*.
 
@@ -605,9 +664,7 @@ class BiochipSimulator:
         with :class:`~repro.util.errors.RecoveryError` up front.
         """
         checkpoint.validate(self.schedule)
-        extra = sorted(
-            ((float(t), Point(*c)) for t, c in new_faults), key=lambda fc: fc[0]
-        )
+        extra = _normalize_faults(new_faults)
         early = [f for f in extra if f[0] < checkpoint.time_s]
         if early:
             raise ValueError(
@@ -631,22 +688,38 @@ class BiochipSimulator:
 
     def _realize_timeline(
         self,
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         events: list[SimEvent],
         relocations: list[Relocation],
     ) -> dict[str, _OpState]:
         """Derive realized op intervals under faults + reconfiguration."""
         states = self._initial_states()
-        for fault_time, cell in faults:
-            self._apply_fault(fault_time, cell, states, faults, events, relocations)
+        for fault_time, cell, kind in faults:
+            if kind == "fail":
+                self._apply_fault(fault_time, cell, states, faults, events, relocations)
+            else:
+                self._apply_clear(fault_time, cell, events)
         return states
+
+    def _apply_clear(self, clear_time: float, cell: Point, events: list[SimEvent]) -> None:
+        """A transient fault self-recovers: the cell routes again from
+        ``clear_time`` on (via the active-fault timeline); relocations
+        and delays its ``fail`` already caused are *not* rolled back —
+        the controller could not have known the fault would clear.
+        Shared by both engines, like :meth:`_apply_fault`."""
+        events.append(
+            SimEvent(clear_time, "repair", f"cell {cell} recovered (transient fault cleared)")
+        )
+        if cell in self._marked_faulty:
+            self.array.repair(cell)
+            self._marked_faulty.remove(cell)
 
     def _apply_fault(
         self,
         fault_time: float,
         cell: Point,
         states: dict[str, _OpState],
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         events: list[SimEvent],
         relocations: list[Relocation],
     ) -> None:
@@ -674,7 +747,8 @@ class BiochipSimulator:
                     self.placement,
                     cell,
                     extra_faults=[
-                        f for t, f in faults if t <= fault_time and f != cell
+                        f for f in _active_fault_cells(faults, fault_time)
+                        if f != cell
                     ],
                     only_ops=pending_ids,
                 )
@@ -730,7 +804,7 @@ class BiochipSimulator:
     def _replay_droplets(
         self,
         states: dict[str, _OpState],
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         events: list[SimEvent],
     ) -> tuple[Droplet | None, int]:
         droplet_of: dict[str, Droplet] = {}
@@ -765,7 +839,7 @@ class BiochipSimulator:
         self,
         op_id: str,
         states: dict[str, _OpState],
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         events: list[SimEvent],
         droplet_of: dict[str, Droplet],
     ) -> tuple[int, Droplet | None]:
@@ -777,7 +851,7 @@ class BiochipSimulator:
         op = self.graph.operation(op_id)
         state = states[op_id]
         t = state.start
-        faulty_now = [c for ft, c in faults if ft <= t]
+        faulty_now = _active_fault_cells(faults, t)
         parked = [
             d.position
             for d in droplet_of.values()
@@ -861,7 +935,7 @@ class BiochipSimulator:
 
     def _execute_event(
         self,
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         events: list[SimEvent],
         relocations: list[Relocation],
     ) -> tuple[dict[str, _OpState], Droplet | None, int]:
@@ -917,8 +991,18 @@ class BiochipSimulator:
                         schedule_op(op_id)
             return fire
 
-        for fault_time, cell in faults:
-            engine.schedule((_PHASE_REALIZE, fault_time), fault_handler(fault_time, cell))
+        def clear_handler(clear_time: float, cell: Point):
+            def fire() -> None:
+                self._apply_clear(clear_time, cell, events)
+            return fire
+
+        for fault_time, cell, kind in faults:
+            handler = (
+                fault_handler(fault_time, cell)
+                if kind == "fail"
+                else clear_handler(fault_time, cell)
+            )
+            engine.schedule((_PHASE_REALIZE, fault_time), handler)
         for op_id in sorted(states):
             schedule_op(op_id)
         engine.run()
@@ -939,7 +1023,7 @@ class BiochipSimulator:
         droplet: Droplet,
         state: _OpState,
         states: dict[str, _OpState],
-        faults: list[tuple[float, Point]],
+        faults: list[FaultEntry],
         droplet_of: dict[str, Droplet],
         events: list[SimEvent],
     ) -> int:
@@ -952,7 +1036,7 @@ class BiochipSimulator:
             (states[s].start for s in consumers if s in states),
             default=finish,
         )
-        faulty = [c for ft, c in faults if ft <= finish]
+        faulty = _active_fault_cells(faults, finish)
         parked = {
             d.position
             for o, d in droplet_of.items()
@@ -1216,20 +1300,26 @@ class BiochipSimulator:
                     SimEvent(t, "transport", "fluidic spacing waived (tight array)", op_id)
                 )
             except RoutingError:
-                route = router.route(
-                    droplet.position,
-                    goal,
-                    blocked_rects=active,
-                    blocked_cells=faulty_now,
-                )
-                events.append(
-                    SimEvent(
-                        t,
-                        "transport",
-                        "parked droplets shuffled aside (tight array)",
-                        op_id,
+                try:
+                    route = router.route(
+                        droplet.position,
+                        goal,
+                        blocked_rects=active,
+                        blocked_cells=faulty_now,
                     )
-                )
+                    events.append(
+                        SimEvent(
+                            t,
+                            "transport",
+                            "parked droplets shuffled aside (tight array)",
+                            op_id,
+                        )
+                    )
+                except RoutingError as exc:
+                    route = self._route_after_handover(
+                        router, droplet, goal, query_t, faulty_now,
+                        events, op_id, exc,
+                    )
         seconds = self.ew.transport_time_s(route.length, self.drive_voltage)
         events.append(
             SimEvent(
@@ -1242,6 +1332,67 @@ class BiochipSimulator:
         )
         droplet.position = goal
         return route.length
+
+    def _route_after_handover(
+        self,
+        router,
+        droplet: Droplet,
+        goal: Point,
+        query_t: float,
+        faulty_now: list[Point],
+        events: list[SimEvent],
+        op_id: str,
+        original: RoutingError,
+    ):
+        """Last-resort degradation: stall until a module handover.
+
+        Every cheaper fallback found the droplet walled in by module
+        footprints active *right now* — but module occupancy is
+        transient. A physical controller holds the droplet in place and
+        moves when the next operation releases its cells, so retry the
+        route against the obstacle snapshot at each successive module
+        finish instant. Strictly additive: this path only runs where
+        the replay previously failed outright, so no previously-passing
+        trace can change. The stall is logged; like the other tight-
+        array degradations it does not shift the realized schedule.
+        """
+        handovers = sorted(
+            {
+                s.finish
+                for s in self._states.values()
+                if s.module is not None
+                and s.op_id != op_id
+                and s.start <= query_t < s.finish
+            }
+        )
+        for release in handovers:
+            active = [
+                s.module.footprint
+                for s in self._states.values()
+                if s.module is not None
+                and s.op_id != op_id
+                and s.start <= release < s.finish
+            ]
+            try:
+                route = router.route(
+                    droplet.position,
+                    goal,
+                    blocked_rects=active,
+                    blocked_cells=faulty_now,
+                )
+            except RoutingError:
+                continue
+            events.append(
+                SimEvent(
+                    query_t,
+                    "transport",
+                    f"droplet {droplet.droplet_id} stalled until t={release:g}"
+                    " (module handover opened a lane)",
+                    op_id,
+                )
+            )
+            return route
+        raise original
 
     def _planned_route(
         self,
@@ -1285,6 +1436,18 @@ class BiochipSimulator:
             or net.net.goal.translated(dx, dy) != goal
         ):
             return None
+        if faulty_now:
+            # A covered plan avoids its declared fault cells only from
+            # the instant it was synthesized against them. Under
+            # detection latency a *prefix* transport can replay while a
+            # not-yet-detected fault is already live — if the planned
+            # trajectory crosses any currently-active fault, yield to
+            # the live-obstacle router. (Recovery plans route suffix
+            # transports around their fault mask by construction, so
+            # for those this check never fires.)
+            fault_set = set(faulty_now)
+            if any(c.translated(dx, dy) in fault_set for c in net.cells):
+                return None
         if other_droplets:
             cells = [c.translated(dx, dy) for c in net.cells]
             for q in other_droplets:

@@ -17,8 +17,8 @@ concurrent tests around a running placement.
 """
 
 from repro.testing.detector import CapacitiveSensor, SinkObservation
-from repro.testing.localize import FaultLocalizer
-from repro.testing.online import OnlineTestPlan, OnlineTester
+from repro.testing.localize import FaultLocalizer, LocalizationResult
+from repro.testing.online import OnlineTestPlan, OnlineTester, OnlineTestReport
 from repro.testing.test_droplet import (
     TestDroplet,
     TestOutcome,
@@ -29,7 +29,9 @@ from repro.testing.test_droplet import (
 __all__ = [
     "CapacitiveSensor",
     "FaultLocalizer",
+    "LocalizationResult",
     "OnlineTestPlan",
+    "OnlineTestReport",
     "OnlineTester",
     "SinkObservation",
     "TestDroplet",

@@ -6,16 +6,26 @@ The sink sensor only reports pass/fail for a whole path, so finding
 the prefix length — the walk passes iff the prefix stops short of the
 fault — so binary search over prefix lengths finds the faulty cell in
 ``ceil(log2(n))`` test runs.
+
+With a *noisy* sensor one misread flips a bisection branch and the
+search walks off to an arbitrary cell. The mitigation is per-probe
+majority voting: each prefix is walked *votes* times (an odd count)
+and the majority reading decides the branch, bounding the campaign at
+``votes * (1 + ceil(log2 n))`` runs while driving the per-branch error
+rate from ``p`` to ``O(p^ceil(votes/2))``. A mislocalization that still
+slips through is the closed-loop controller's problem — its
+confirmation probes and stuck-droplet watchdog exist for exactly that.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.geometry import Point
 from repro.grid.array import MicrofluidicArray
 from repro.testing.detector import CapacitiveSensor
-from repro.testing.test_droplet import TestDroplet, TestOutcome
+from repro.testing.test_droplet import TestDroplet
 
 
 @dataclass(frozen=True)
@@ -33,33 +43,69 @@ class LocalizationResult:
 
 
 class FaultLocalizer:
-    """Pinpoints a single faulty cell using only sink observations."""
+    """Pinpoints a single faulty cell using only sink observations.
 
-    def __init__(self, sensor: CapacitiveSensor | None = None) -> None:
+    *votes* is the per-probe majority-vote width (odd, default 1 — the
+    historical single-walk probe). Raise it when the sensor is noisy;
+    leave it at 1 for an ideal sensor, where repeats are pure waste.
+    """
+
+    def __init__(self, sensor: CapacitiveSensor | None = None, votes: int = 1) -> None:
+        if votes < 1 or votes % 2 == 0:
+            raise ValueError(f"votes must be a positive odd count, got {votes}")
         self.sensor = sensor if sensor is not None else CapacitiveSensor()
+        self.votes = votes
         self._droplet = TestDroplet()
 
-    def _passes(self, array: MicrofluidicArray, path: list[Point]) -> tuple[bool, TestOutcome]:
-        outcome = self._droplet.walk(array, path)
-        return self.sensor.observe(outcome).droplet_arrived, outcome
+    def _passes(
+        self,
+        array: MicrofluidicArray,
+        path: list[Point],
+        rng: random.Random | None = None,
+    ) -> tuple[bool, int]:
+        """Majority-voted probe of one path: ``(reading, runs used)``.
 
-    def localize(self, array: MicrofluidicArray, path: list[Point]) -> LocalizationResult:
+        Each vote re-dispenses a fresh droplet, as the hardware
+        procedure would; the physical walk is deterministic, only the
+        sensor reading varies. Votes stop early once a majority is
+        decided — with an ideal sensor (or no *rng*) that is after the
+        first walk, keeping the historical run counts bit-identical.
+        """
+        passed = failed = 0
+        need = self.votes // 2 + 1
+        while passed < need and failed < need:
+            outcome = self._droplet.walk(array, path)
+            if self.sensor.observe(outcome, rng).droplet_arrived:
+                passed += 1
+            else:
+                failed += 1
+        return passed >= need, passed + failed
+
+    def localize(
+        self,
+        array: MicrofluidicArray,
+        path: list[Point],
+        rng: random.Random | None = None,
+    ) -> LocalizationResult:
         """Find the first faulty cell on *path* (None if the path passes).
 
         Runs a full-path test first; on failure, binary-searches prefix
-        lengths. Each probe re-dispenses a fresh test droplet, as the
-        hardware procedure would.
+        lengths. Pass *rng* to realize the sensor's configured read
+        errors (omitted, the sensor reads ideally, as every historical
+        caller expects).
         """
-        runs = 1
-        ok, _ = self._passes(array, path)
+        ok, runs = self._passes(array, path, rng)
         if ok:
             return LocalizationResult(faulty_cell=None, runs=runs)
         # Invariant: prefix of length lo passes; prefix of length hi fails.
         lo, hi = 0, len(path)
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            runs += 1
-            ok, _ = self._passes(array, path[:mid]) if mid > 0 else (True, None)
+            if mid > 0:
+                ok, used = self._passes(array, path[:mid], rng)
+            else:
+                ok, used = True, 0
+            runs += used
             if ok:
                 lo = mid
             else:

@@ -9,6 +9,7 @@ reports that feed :class:`repro.fault.reconfigure.PartialReconfigurer`.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.geometry import Point
@@ -72,18 +73,24 @@ class OnlineTester:
             at_time=at_time, paths=tuple(tuple(p) for p in paths)
         )
 
-    def execute(self, array: MicrofluidicArray, plan: OnlineTestPlan) -> OnlineTestReport:
+    def execute(
+        self,
+        array: MicrofluidicArray,
+        plan: OnlineTestPlan,
+        rng: random.Random | None = None,
+    ) -> OnlineTestReport:
         """Run every walk of *plan* against *array*, localizing failures.
 
         A walk that fails is re-run through the localizer; the faulty
         cell is recorded and the remainder of that walk is skipped (the
         paper's single-fault model makes frequent short campaigns the
-        norm — one fault per campaign).
+        norm — one fault per campaign). Pass *rng* to realize the
+        localizer sensor's configured read errors.
         """
         faults: list[Point] = []
         runs = 0
         for path in plan.paths:
-            result: LocalizationResult = self.localizer.localize(array, list(path))
+            result: LocalizationResult = self.localizer.localize(array, list(path), rng)
             runs += result.runs
             if result.fault_found:
                 assert result.faulty_cell is not None

@@ -161,6 +161,29 @@ class TestRealUsageErrors:
         code, _ = run_cli(["recover", "--fault-time", "1.5"])
         assert code == EXIT_USAGE
 
+    def test_mismatched_cell_fault_time_pairs(self, capsys):
+        code, _ = run_cli(
+            ["recover", "--cell", "3", "4", "--cell", "5", "6",
+             "--fault-time", "0.3"]
+        )
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "pair up one-to-one" in err
+        assert "2 --cell" in err and "1 --fault-time" in err
+
+    def test_mismatched_pairs_on_simulate_too(self, capsys):
+        code, _ = run_cli(
+            ["simulate", "--fault-time", "0.2", "--fault-time", "0.6",
+             "--cell", "2", "2"]
+        )
+        assert code == EXIT_USAGE
+        assert "pair up one-to-one" in capsys.readouterr().err
+
+    def test_sensor_flags_need_closed_loop(self, capsys):
+        code, _ = run_cli(["recover", "--sensor-fpr", "0.1"])
+        assert code == EXIT_USAGE
+        assert "--closed-loop" in capsys.readouterr().err
+
     def test_argparse_own_usage_error_is_also_2(self):
         code, _ = run_cli(["no-such-command"])
         assert code == EXIT_USAGE

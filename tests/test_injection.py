@@ -4,6 +4,7 @@ import pytest
 
 from repro.fault.fti import compute_fti
 from repro.fault.injection import FaultInjector, estimate_survival_probability
+from repro.fault.models import wearout_weight_fn
 from repro.geometry import Point
 from repro.grid.array import MicrofluidicArray
 
@@ -50,6 +51,29 @@ class TestFaultInjector:
         inj = FaultInjector(seed=5, weight_fn=lambda p: -1.0)
         with pytest.raises(ValueError):
             inj.random_cell(3, 3)
+
+    def test_wearout_hazard_biases_sampling_deterministically(self):
+        """`wearout_weight_fn` plugs actuation counts into the injector
+        — the non-uniform failure model its docstring promised. With
+        one cell carrying 99x the baseline weight on a 4x4 array, that
+        cell must dominate the draws, and the biased stream must stay
+        bit-identical for a fixed seed."""
+        hot = Point(2, 3)
+        weight = wearout_weight_fn({hot: 99}, baseline=1.0)
+
+        draws = [FaultInjector(seed=11, weight_fn=weight).random_cell(4, 4)
+                 for _ in range(1)]
+        repeat = [FaultInjector(seed=11, weight_fn=weight).random_cell(4, 4)
+                  for _ in range(1)]
+        assert draws == repeat
+
+        inj = FaultInjector(seed=11, weight_fn=weight)
+        picks = [inj.random_cell(4, 4) for _ in range(200)]
+        # Expected hot-cell share: 100 / (100 + 15) ~ 87%; demand well
+        # above the 1/16 uniform share but below certainty.
+        share = picks.count(hot) / len(picks)
+        assert 0.75 < share < 1.0
+        assert any(p != hot for p in picks), "baseline keeps cold cells failable"
 
 
 class TestSurvivalEstimate:

@@ -41,7 +41,9 @@ def report():
 
 class TestFaultPatterns:
     def test_builtin_registry(self):
-        assert set(BUILTIN_FAULT_PATTERNS) == {"none", "center", "corner", "pair"}
+        assert set(BUILTIN_FAULT_PATTERNS) == {
+            "none", "center", "corner", "pair", "cluster",
+        }
 
     def test_resolution_against_array_dims(self):
         assert FaultPattern.none().resolve(7, 9) == ()
