@@ -50,6 +50,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.assay.catalog import BUNDLED_ASSAYS as PROTOCOLS
+from repro.assay.catalog import build_assay, is_generator_spec
 from repro.exec import (
     STATUS_CRASHED,
     STATUS_INFEASIBLE,
@@ -110,12 +111,30 @@ def _params(fast: bool) -> AnnealingParams:
     return AnnealingParams.fast() if fast else AnnealingParams.balanced()
 
 
+def _max_parked(args: argparse.Namespace, *protocols: str) -> int | None:
+    """Storage-pressure bound for the list scheduler.
+
+    Generated workloads default to 2: wide random graphs otherwise park
+    product droplets into routing obstacles (DESIGN.md, drain chains).
+    Bundled assays keep their unbounded golden schedules. An explicit
+    ``--max-parked`` wins either way.
+    """
+    if getattr(args, "max_parked", None) is not None:
+        return args.max_parked
+    names = protocols or (getattr(args, "protocol", None) or "",)
+    return 2 if any(is_generator_spec(n) for n in names) else None
+
+
 def cmd_flow(args: argparse.Namespace) -> int:
     from repro.synthesis.flow import SynthesisFlow
     from repro.viz.ascii_art import render_fti_map, render_gantt, render_placement
 
-    graph, binding = PROTOCOLS[args.protocol]()
-    flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
+    graph, binding = build_assay(args.protocol)
+    flow = SynthesisFlow(
+        placer=_placer(args),
+        max_concurrent_ops=args.max_concurrent,
+        max_parked=_max_parked(args),
+    )
     result = flow.run(graph, explicit_binding=binding)
 
     print(render_gantt(result.schedule))
@@ -175,10 +194,12 @@ def cmd_place(args: argparse.Namespace) -> int:
             "--cross-check verifies the incremental path and "
             "cannot be combined with --no-incremental"
         )
-    graph, binding = PROTOCOLS[args.protocol]()
+    graph, binding = build_assay(args.protocol)
     context = SynthesisContext(graph=graph, explicit_binding=binding)
     BindStage().run(context)
-    ScheduleStage(max_concurrent_ops=args.max_concurrent).run(context)
+    ScheduleStage(
+        max_concurrent_ops=args.max_concurrent, max_parked=_max_parked(args)
+    ).run(context)
     placer = _placer(args)
 
     placed = _profiled(
@@ -208,10 +229,11 @@ def cmd_route(args: argparse.Namespace) -> int:
 
     if args.reference and args.cross_check:
         raise UsageError("--reference and --cross-check are mutually exclusive")
-    graph, binding = PROTOCOLS[args.protocol]()
+    graph, binding = build_assay(args.protocol)
     flow = SynthesisFlow(
         placer=_placer(args),
         max_concurrent_ops=args.max_concurrent,
+        max_parked=_max_parked(args),
         route=True,
         routing_synthesizer=RoutingSynthesizer(
             reference=args.reference, cross_check=args.cross_check
@@ -294,14 +316,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     engine = "stepped" if args.stepped else "event"
     pairs = _paired_faults(args)
-    graph, binding = PROTOCOLS[args.protocol]()
-    flow = SynthesisFlow(placer=_placer(args), max_concurrent_ops=args.max_concurrent)
+    graph, binding = build_assay(args.protocol)
+    flow = SynthesisFlow(
+        placer=_placer(args),
+        max_concurrent_ops=args.max_concurrent,
+        max_parked=_max_parked(args),
+        route=True,
+    )
     result = flow.run(graph, explicit_binding=binding)
     sim = BiochipSimulator(
         result.graph,
         result.schedule,
         result.binding,
         result.placement_result.placement,
+        routing_plan=result.routing_plan,
         strict=False,
         engine=engine,
     )
@@ -331,8 +359,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         t0 = time.perf_counter()
         report = sim.run(faults=faults)
         best = min(best, time.perf_counter() - t0)
+    # A failed event replay returns its report before the engine stats
+    # exist; fall back to the report's own event count.
+    stats = getattr(sim, "_event_stats", None)
     queue_events = (
-        sim._event_stats["processed"] if engine == "event" else len(report.events)
+        stats["processed"] if engine == "event" and stats
+        else max(1, len(report.events))
     )
     if args.json:
         print(
@@ -360,13 +392,14 @@ def cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.pipeline import PortfolioSpec, run_portfolio
     from repro.util.tables import format_table
 
-    graph, binding = PROTOCOLS[args.protocol]()
+    graph, binding = build_assay(args.protocol)
     spec = PortfolioSpec(
         graph=graph,
         explicit_binding=binding,
         annealing=_params(args.fast),
         beta=args.beta,
         max_concurrent_ops=args.max_concurrent,
+        max_parked=_max_parked(args),
         route=args.route,
     )
     if args.profile and args.jobs > 1:
@@ -412,10 +445,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from repro.pipeline import BUILTIN_FAULT_PATTERNS, BatchScenarioRunner
 
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-    unknown = [p for p in protocols if p not in PROTOCOLS]
+    unknown = [
+        p for p in protocols if p not in PROTOCOLS and not is_generator_spec(p)
+    ]
     if unknown:
         raise UsageError(
-            f"unknown protocol(s) {unknown}; choose from {sorted(PROTOCOLS)}"
+            f"unknown protocol(s) {unknown}; choose from {sorted(PROTOCOLS)} "
+            "or generator specs like 'gen:panel:n=64:seed=1'"
         )
     faults = [f.strip() for f in args.faults.split(",") if f.strip()]
     bad = [f for f in faults if f not in BUILTIN_FAULT_PATTERNS]
@@ -425,10 +461,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"choose from {sorted(BUILTIN_FAULT_PATTERNS)}"
         )
     runner = BatchScenarioRunner(
-        assays={name: PROTOCOLS[name]() for name in protocols},
+        assays={name: build_assay(name) for name in protocols},
         fault_patterns=[BUILTIN_FAULT_PATTERNS[f] for f in faults],
         annealing=_params(args.fast),
         max_concurrent_ops=args.max_concurrent,
+        max_parked=_max_parked(args, *protocols),
         route=args.route,
         verify=args.verify,
         seed=args.seed,
@@ -450,6 +487,39 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"{report.ok_count}/{len(report.records)} scenarios ok "
             f"(jobs={report.jobs}, {report.wall_s:.1f} s wall)"
         )
+    return _exit_code(r.status for r in report.records)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.workload.campaign import CampaignConfig, CampaignRunner, validate_log
+
+    if args.validate is not None:
+        problems = validate_log(args.validate)
+        if problems:
+            for p in problems:
+                print(f"{args.validate}: {p}")
+            print(f"{args.validate}: INVALID ({len(problems)} problem(s))")
+            return EXIT_INFEASIBLE
+        print(f"{args.validate}: valid campaign log")
+        return EXIT_OK
+    if args.config is None:
+        raise UsageError("a campaign config file is required (or --validate LOG)")
+    config = CampaignConfig.load(args.config)
+    runner = CampaignRunner(config)
+    report = runner.run(
+        args.log,
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        journal_path=args.journal,
+        resume_from=args.resume,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.table_text())
+        print()
+        print(report.summary())
     return _exit_code(r.status for r in report.records)
 
 
@@ -529,6 +599,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
                 AnnealingParams.fast() if args.fast
                 else AnnealingParams.low_temperature()
             ),
+            max_parked=_max_parked(args, *protocols),
             seed=args.seed,
             sim_engine=args.sim_engine,
             fault_model=args.fault_model,
@@ -576,10 +647,11 @@ def cmd_recover(args: argparse.Namespace) -> int:
     outcomes = {}
     exit_code = EXIT_OK
     for name in protocols:
-        graph, binding = PROTOCOLS[name]()
+        graph, binding = build_assay(name)
         flow = SynthesisFlow(
             placer=_placer(args),
             max_concurrent_ops=args.max_concurrent,
+            max_parked=_max_parked(args, name),
             route=True,
         )
         try:
@@ -649,10 +721,11 @@ def _recover_closed_loop(
     outcomes = {}
     exit_code = EXIT_OK
     for name in protocols:
-        graph, binding = PROTOCOLS[name]()
+        graph, binding = build_assay(name)
         flow = SynthesisFlow(
             placer=_placer(args),
             max_concurrent_ops=args.max_concurrent,
+            max_parked=_max_parked(args, name),
             route=True,
         )
         try:
@@ -725,7 +798,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     from repro.synthesis.architect import ArchitecturalExplorer
 
-    graph, _ = PROTOCOLS[args.protocol]()
+    graph, _ = build_assay(args.protocol)
     explorer = ArchitecturalExplorer(params=_params(args.fast), seed=args.seed)
     result = explorer.explore(graph)
     print(result.table_text())
@@ -751,7 +824,7 @@ def _add_supervision_args(p: argparse.ArgumentParser) -> None:
         help="retry budget per task for crashed or deadline-killed "
              "workers (exit 5 once a crashed task exhausts it)",
     )
-    if p.prog.endswith(("batch", "recover")):
+    if p.prog.endswith(("batch", "recover", "campaign")):
         p.add_argument(
             "--journal", type=str, default=None, metavar="FILE",
             help="append every completed scenario to this crash-safe "
@@ -890,13 +963,29 @@ def build_parser() -> argparse.ArgumentParser:
              "stepped reference)",
     )
     batch.add_argument("--max-concurrent", type=int, default=3)
+    batch.add_argument(
+        "--max-parked", type=int, default=None,
+        help="bound finished-but-unconsumed product droplets during "
+             "scheduling (default: 2 for gen: workloads, unbounded "
+             "for bundled assays)",
+    )
     batch.set_defaults(func=cmd_batch)
 
     for p in (flow, place, route, simulate, portfolio):
-        p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
+        p.add_argument(
+            "--protocol", default="pcr", metavar="NAME",
+            help=f"bundled assay ({'/'.join(sorted(PROTOCOLS))}) or generator "
+                 "spec like gen:panel:n=64:seed=1",
+        )
         p.add_argument("--beta", type=float, default=None,
                        help="enable the fault-aware two-stage placer at this beta")
         p.add_argument("--max-concurrent", type=int, default=3)
+        p.add_argument(
+            "--max-parked", type=int, default=None,
+            help="bound finished-but-unconsumed product droplets during "
+             "scheduling (default: 2 for gen: workloads, unbounded "
+             "for bundled assays)",
+        )
 
     for p in (place, route, simulate, portfolio):
         p.add_argument(
@@ -918,14 +1007,46 @@ def build_parser() -> argparse.ArgumentParser:
     for p in (portfolio, batch):
         _add_supervision_args(p)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative scenario campaign from a TOML/JSON config, "
+             "writing one structured JSONL record per scenario",
+    )
+    campaign.add_argument(
+        "config", nargs="?", default=None, metavar="CONFIG",
+        help="campaign declaration (.toml or .json); see "
+             "examples/campaigns/",
+    )
+    campaign.add_argument(
+        "--log", type=str, default="campaign.jsonl", metavar="FILE",
+        help="output JSONL log (one meta line + one record per scenario, "
+             "in grid order; byte-identical for any --jobs)",
+    )
+    campaign.add_argument(
+        "--validate", type=str, default=None, metavar="LOG",
+        help="validate an existing campaign log against the record schema "
+             "instead of running (exit 0 valid / 3 invalid)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process serial execution)",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report as JSON",
+    )
+    _add_supervision_args(campaign)
+    campaign.set_defaults(func=cmd_campaign)
+
     recover = sub.add_parser(
         "recover",
         help="inject a mid-assay fault and recover online "
              "(checkpoint + incremental re-synthesis + resume)",
     )
     recover.add_argument(
-        "--protocol", choices=sorted(PROTOCOLS) + ["all"], default="all",
-        help="assay to recover (default: every bundled assay)",
+        "--protocol", default="all", metavar="NAME",
+        help="assay to recover: bundled name, generator spec, or 'all' "
+             "for every bundled assay (the default)",
     )
     recover.add_argument(
         "--fault-time", action="append", type=float, default=None,
@@ -982,6 +1103,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--max-concurrent", type=int, default=3)
     recover.add_argument(
+        "--max-parked", type=int, default=None,
+        help="bound finished-but-unconsumed product droplets during "
+             "scheduling (default: 2 for gen: workloads, unbounded "
+             "for bundled assays)",
+    )
+    recover.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for --sweep (1 = serial)",
     )
@@ -1004,7 +1131,10 @@ def build_parser() -> argparse.ArgumentParser:
     exps.set_defaults(func=cmd_experiments)
 
     explore = sub.add_parser("explore", help="binding/concurrency design space")
-    explore.add_argument("--protocol", choices=sorted(PROTOCOLS), default="pcr")
+    explore.add_argument(
+        "--protocol", default="pcr", metavar="NAME",
+        help="bundled assay name or generator spec",
+    )
     explore.set_defaults(func=cmd_explore)
 
     for p in (

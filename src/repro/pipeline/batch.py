@@ -164,6 +164,7 @@ class _ComboSpec:
     annealing: AnnealingParams | None
     max_concurrent_ops: int | None
     cell_capacity: int | None
+    max_parked: int | None
     binding_strategy: str
     route: bool
     verify: bool
@@ -315,6 +316,7 @@ def _run_combo(spec: _ComboSpec) -> list[ScenarioRecord]:
         placer=placer,
         max_concurrent_ops=spec.max_concurrent_ops,
         cell_capacity=spec.cell_capacity,
+        max_parked=spec.max_parked,
         binding_strategy=spec.binding_strategy,
         seed=rng,
         route=spec.route,
@@ -401,6 +403,7 @@ class BatchScenarioRunner:
         annealing: AnnealingParams | None = None,
         max_concurrent_ops: int | None = 3,
         cell_capacity: int | None = None,
+        max_parked: int | None = None,
         binding_strategy: str = ResourceBinder.FASTEST,
         route: bool = True,
         verify: bool = False,
@@ -432,6 +435,7 @@ class BatchScenarioRunner:
         self.annealing = annealing
         self.max_concurrent_ops = max_concurrent_ops
         self.cell_capacity = cell_capacity
+        self.max_parked = max_parked
         self.binding_strategy = binding_strategy
         self.route = route
         self.verify = verify
@@ -460,6 +464,7 @@ class BatchScenarioRunner:
                         annealing=self.annealing,
                         max_concurrent_ops=self.max_concurrent_ops,
                         cell_capacity=self.cell_capacity,
+                        max_parked=self.max_parked,
                         binding_strategy=self.binding_strategy,
                         route=self.route,
                         verify=self.verify,

@@ -109,6 +109,7 @@ def build_default_pipeline(
     placer=None,
     max_concurrent_ops: int | None = 3,
     cell_capacity: int | None = None,
+    max_parked: int | None = None,
     binding_strategy: str = ResourceBinder.FASTEST,
     compute_fti_report: bool = True,
     seed: int | random.Random | None = None,
@@ -134,7 +135,9 @@ def build_default_pipeline(
     stages: list[Stage] = [
         BindStage(binder, strategy=binding_strategy),
         ScheduleStage(
-            max_concurrent_ops=max_concurrent_ops, cell_capacity=cell_capacity
+            max_concurrent_ops=max_concurrent_ops,
+            cell_capacity=cell_capacity,
+            max_parked=max_parked,
         ),
         PlaceStage(placer, compute_fti_report=compute_fti_report),
     ]

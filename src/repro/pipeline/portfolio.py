@@ -106,6 +106,7 @@ class PortfolioSpec:
     beta: float | None = None
     max_concurrent_ops: int | None = 3
     cell_capacity: int | None = None
+    max_parked: int | None = None
     binding_strategy: str = ResourceBinder.FASTEST
     compute_fti_report: bool = True
     route: bool = False
@@ -144,6 +145,7 @@ class PortfolioSpec:
             placer=placer,
             max_concurrent_ops=self.max_concurrent_ops,
             cell_capacity=self.cell_capacity,
+            max_parked=self.max_parked,
             binding_strategy=self.binding_strategy,
             compute_fti_report=self.compute_fti_report,
             seed=rng,

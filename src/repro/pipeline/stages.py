@@ -74,9 +74,11 @@ class ScheduleStage:
         self,
         max_concurrent_ops: int | None = 3,
         cell_capacity: int | None = None,
+        max_parked: int | None = None,
     ) -> None:
         self.max_concurrent_ops = max_concurrent_ops
         self.cell_capacity = cell_capacity
+        self.max_parked = max_parked
 
     def run(self, context: SynthesisContext) -> None:
         context.require("binding")
@@ -91,6 +93,7 @@ class ScheduleStage:
                 max_concurrent_ops=self.max_concurrent_ops,
                 cell_capacity=self.cell_capacity,
                 footprints=footprints,
+                max_parked=self.max_parked,
             )
         )
 

@@ -36,7 +36,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
-from repro.assay.catalog import BUNDLED_ASSAYS, build_assay
+from repro.assay.catalog import BUNDLED_ASSAYS, build_assay, is_generator_spec
 from repro.exec import (
     STATUS_OK,
     CampaignJournal,
@@ -82,6 +82,7 @@ class _SweepSpec:
     annealing: AnnealingParams | None
     recovery_annealing: AnnealingParams | None
     max_concurrent_ops: int | None
+    max_parked: int | None = None
     sim_engine: str = "event"
     #: Fault process (:data:`repro.fault.models.FAULT_MODELS` name) the
     #: scenarios realize; ``permanent`` is the historical single fault.
@@ -375,6 +376,7 @@ def _run_sweep_combo(spec: _SweepSpec) -> list[RecoveryRecord]:
     placer = SimulatedAnnealingPlacer(params=spec.annealing, seed=spawn_rng(rng))
     pipeline = build_default_pipeline(placer=placer, seed=rng,
                                       max_concurrent_ops=spec.max_concurrent_ops,
+                                      max_parked=spec.max_parked,
                                       route=True)
     context = SynthesisContext(graph=graph, explicit_binding=binding)
     records: list[RecoveryRecord] = []
@@ -529,6 +531,7 @@ class MonteCarloRecoverySweep:
         annealing: AnnealingParams | None = None,
         recovery_annealing: AnnealingParams | None = None,
         max_concurrent_ops: int | None = 3,
+        max_parked: int | None = None,
         seed: int = 7,
         sim_engine: str = "event",
         fault_model: str = "permanent",
@@ -537,10 +540,13 @@ class MonteCarloRecoverySweep:
         sensor_fnr: float = 0.0,
         sensor_latency_s: float = 0.0,
     ) -> None:
-        unknown = [a for a in assays if a not in BUNDLED_ASSAYS]
+        unknown = [
+            a for a in assays if a not in BUNDLED_ASSAYS and not is_generator_spec(a)
+        ]
         if unknown:
             raise RecoveryError(
-                f"unknown assay(s) {unknown}; choose from {sorted(BUNDLED_ASSAYS)}"
+                f"unknown assay(s) {unknown}; choose from {sorted(BUNDLED_ASSAYS)} "
+                "or generator specs like 'gen:panel:n=64:seed=1'"
             )
         bad = [t for t in targets if t not in FAULT_TARGETS]
         if bad:
@@ -560,6 +566,7 @@ class MonteCarloRecoverySweep:
         self.annealing = annealing
         self.recovery_annealing = recovery_annealing
         self.max_concurrent_ops = max_concurrent_ops
+        self.max_parked = max_parked
         self.seed = seed
         if sim_engine not in ("event", "stepped"):
             raise RecoveryError(
@@ -608,6 +615,7 @@ class MonteCarloRecoverySweep:
                     annealing=self.annealing,
                     recovery_annealing=self.recovery_annealing,
                     max_concurrent_ops=self.max_concurrent_ops,
+                    max_parked=self.max_parked,
                     sim_engine=self.sim_engine,
                     fault_model=self.fault_model,
                     detection=self.detection,

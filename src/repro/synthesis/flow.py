@@ -152,6 +152,7 @@ class SynthesisFlow:
         placer: SimulatedAnnealingPlacer | TwoStagePlacer | None = None,
         max_concurrent_ops: int | None = 3,
         cell_capacity: int | None = None,
+        max_parked: int | None = None,
         binding_strategy: str = ResourceBinder.FASTEST,
         compute_fti_report: bool = True,
         seed: int | random.Random | None = None,
@@ -167,6 +168,7 @@ class SynthesisFlow:
         self.placer = placer if placer is not None else build_default_placer(self.rng)
         self.max_concurrent_ops = max_concurrent_ops
         self.cell_capacity = cell_capacity
+        self.max_parked = max_parked
         self.binding_strategy = binding_strategy
         self.compute_fti_report = compute_fti_report
         self.route = route
@@ -178,6 +180,7 @@ class SynthesisFlow:
             placer=self.placer,
             max_concurrent_ops=max_concurrent_ops,
             cell_capacity=cell_capacity,
+            max_parked=max_parked,
             binding_strategy=binding_strategy,
             compute_fti_report=compute_fti_report,
             route=route,

@@ -1,0 +1,951 @@
+"""Declarative campaign sweeps: one config, one structured JSONL log.
+
+A campaign config (TOML or JSON) declares a grid of
+(generator specs x array sizes x fault models x sensor fidelities x
+simulation engines). :class:`CampaignConfig` expands it — purely
+deterministically — into seeded :class:`CampaignScenario`\\ s, and
+:class:`CampaignRunner` fans them out on the supervised pool with the
+same journal/resume crash-safety the batch runner uses.
+
+The product is an append-only JSONL log with a versioned record
+schema: one ``campaign-meta`` line, then exactly one ``campaign-record``
+line per declared scenario, **in grid order**, each carrying a terminal
+status — no scenario is ever silently lost, including those whose
+worker crashed or overran its deadline. Records contain no wall-clock
+or host-dependent fields and every random draw is derived by hashing
+the campaign seed with the scenario key, so the record stream is
+byte-identical for any ``--jobs`` and for any resume split.
+
+Seed-derivation contract (the reason records are jobs-invariant):
+
+* synthesis seed   = ``sha256(campaign_seed | "synthesis" | unit key)``
+  where the unit key is ``spec|array`` — shared by every scenario of
+  that unit, so one synthesized prefix serves all its fault suffixes;
+* scenario seed    = ``sha256(campaign_seed | "scenario" | scenario key)``
+  — drives fault placement, fault-process realization, and sensor
+  noise, independent of expansion order, worker assignment, or which
+  scenarios a resume skips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exec import (
+    STATUS_OK,
+    STATUS_RETRIED_OK,
+    CampaignJournal,
+    NullJournal,
+    SupervisedPool,
+    load_journal,
+)
+from repro.util.errors import ReproError, UsageError
+from repro.util.tables import format_table
+
+if TYPE_CHECKING:
+    from repro.synthesis.flow import SynthesisResult
+
+#: Version of the per-scenario record schema. Consumers must ignore
+#: unknown fields (additions bump nothing); renames/removals bump this.
+RECORD_SCHEMA_VERSION = 1
+#: ``kind`` of per-scenario lines in the campaign log.
+RECORD_KIND = "campaign-record"
+#: ``kind`` of the log's single header line.
+META_KIND = "campaign-meta"
+#: ``kind`` under which decided scenarios land in a --journal file.
+CAMPAIGN_JOURNAL_KIND = "campaign-scenario"
+
+SIM_ENGINES = ("event", "stepped")
+
+#: Terminal statuses a log record may carry. ``retried-then-ok``
+#: normalizes to ``ok`` on the way into the log: retry counts are
+#: supervision telemetry (they vary under injected chaos), not scenario
+#: results, and the log must stay byte-identical across schedules.
+RECORD_STATUSES = ("ok", "infeasible", "timeout", "crashed")
+
+
+def derive_seed(*parts: str) -> int:
+    """A 63-bit seed from hashing *parts* (the derivation contract)."""
+    digest = hashlib.sha256("\x1f".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# -- config ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One sensor-fidelity point of the grid."""
+
+    false_positive_rate: float = 0.0
+    false_negative_rate: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def key(self) -> str:
+        """Canonical key fragment (``ideal`` for a perfect sensor)."""
+        if not (self.false_positive_rate or self.false_negative_rate
+                or self.latency_s):
+            return "ideal"
+        return (
+            f"fpr={self.false_positive_rate:g},"
+            f"fnr={self.false_negative_rate:g},"
+            f"latency={self.latency_s:g}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "fpr": self.false_positive_rate,
+            "fnr": self.false_negative_rate,
+            "latency_s": self.latency_s,
+        }
+
+    @classmethod
+    def parse(cls, raw: object) -> SensorSpec:
+        """Parse a config entry: ``"ideal"``, ``"fpr=0.05,fnr=0.1"``,
+        or a mapping with ``fpr``/``fnr``/``latency`` keys."""
+        if isinstance(raw, Mapping):
+            raw = ",".join(f"{k}={v}" for k, v in raw.items())
+        if not isinstance(raw, str):
+            raise UsageError(f"sensor spec must be a string or table, got {raw!r}")
+        if raw.strip() in ("", "ideal"):
+            return cls()
+        fields = {"fpr": 0.0, "fnr": 0.0, "latency": 0.0}
+        for part in raw.split(","):
+            k, sep, v = part.partition("=")
+            k = k.strip()
+            if not sep or k not in fields:
+                raise UsageError(
+                    f"bad sensor spec {raw!r}: expected comma-joined "
+                    f"fpr=/fnr=/latency= assignments or 'ideal'"
+                )
+            try:
+                fields[k] = float(v)
+            except ValueError:
+                raise UsageError(
+                    f"bad sensor spec {raw!r}: {v!r} is not a number"
+                ) from None
+        for k in ("fpr", "fnr"):
+            if not 0.0 <= fields[k] <= 1.0:
+                raise UsageError(f"sensor {k} must lie in [0, 1], got {fields[k]:g}")
+        if fields["latency"] < 0:
+            raise UsageError(f"sensor latency must be >= 0, got {fields['latency']:g}")
+        return cls(fields["fpr"], fields["fnr"], fields["latency"])
+
+
+def array_key(array: tuple[int, int] | None) -> str:
+    return "auto" if array is None else f"{array[0]}x{array[1]}"
+
+
+def parse_array(raw: str) -> tuple[int, int] | None:
+    """``"auto"`` or ``"WxH"`` with positive integer dimensions."""
+    if raw == "auto":
+        return None
+    w, sep, h = raw.partition("x")
+    try:
+        if not sep:
+            raise ValueError
+        dims = (int(w), int(h))
+    except ValueError:
+        raise UsageError(
+            f"bad array size {raw!r}: expected 'auto' or 'WxH' (e.g. '12x12')"
+        ) from None
+    if dims[0] < 1 or dims[1] < 1:
+        raise UsageError(f"array dimensions must be positive, got {raw!r}")
+    return dims
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One fully-specified point of the expanded grid."""
+
+    spec: str  # protocol name or canonical gen: spec
+    array: tuple[int, int] | None
+    fault_model: str  # "none" or a FAULT_MODELS name
+    sensor: SensorSpec
+    engine: str  # simulation driver for the closed loop
+    index: int  # position in grid order (== log order)
+
+    @property
+    def key(self) -> str:
+        """The scenario's stable journal/log/seed identity."""
+        return "|".join(
+            (self.spec, array_key(self.array), self.fault_model,
+             self.sensor.key, self.engine)
+        )
+
+    @property
+    def unit_key(self) -> str:
+        """Identity of the shared synthesis prefix (``spec|array``)."""
+        return f"{self.spec}|{array_key(self.array)}"
+
+
+def _require(table: Mapping, key: str, kind: type, where: str):
+    value = table.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise UsageError(
+            f"campaign config: {where}.{key} must be a {kind.__name__}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _str_list(table: Mapping, key: str, where: str, default: list | None) -> list:
+    if key not in table:
+        if default is None:
+            raise UsageError(f"campaign config: {where} needs a {key!r} list")
+        return default
+    value = table[key]
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(v, str) for v in value)):
+        raise UsageError(
+            f"campaign config: {where}.{key} must be a non-empty list of "
+            f"strings, got {value!r}"
+        )
+    return value
+
+
+@dataclass
+class CampaignConfig:
+    """A validated campaign declaration."""
+
+    name: str
+    seed: int = 0
+    #: Synthesis knobs shared by every scenario.
+    max_concurrent: int = 3
+    max_parked: int | None = 2
+    fast: bool = True
+    #: Raw grid blocks; each expands as a full cross product.
+    grids: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, source: str = "<config>") -> CampaignConfig:
+        if not isinstance(data, Mapping):
+            raise UsageError(f"campaign config {source}: top level must be a table")
+        campaign = data.get("campaign", {})
+        if not isinstance(campaign, Mapping):
+            raise UsageError(f"campaign config {source}: [campaign] must be a table")
+        name = _require(campaign, "name", str, "[campaign]") if "name" in campaign \
+            else os.path.splitext(os.path.basename(source))[0]
+        seed = _require(campaign, "seed", int, "[campaign]") if "seed" in campaign else 0
+        max_concurrent = (
+            _require(campaign, "max_concurrent", int, "[campaign]")
+            if "max_concurrent" in campaign else 3
+        )
+        raw_parked = campaign.get("max_parked", 2)
+        if raw_parked is not None and (isinstance(raw_parked, bool)
+                                       or not isinstance(raw_parked, int)):
+            raise UsageError(
+                f"campaign config: [campaign].max_parked must be an int or "
+                f"absent, got {raw_parked!r}"
+            )
+        fast = campaign.get("fast", True)
+        if not isinstance(fast, bool):
+            raise UsageError(
+                f"campaign config: [campaign].fast must be a boolean, got {fast!r}"
+            )
+        grids = data.get("grid", [])
+        if isinstance(grids, Mapping):  # a single [grid] table
+            grids = [grids]
+        if not isinstance(grids, list) or not grids:
+            raise UsageError(
+                f"campaign config {source}: needs at least one [[grid]] block"
+            )
+        config = cls(
+            name=name, seed=seed, max_concurrent=max_concurrent,
+            max_parked=raw_parked, fast=fast, grids=[dict(g) for g in grids],
+        )
+        config.expand()  # validate eagerly: a bad grid fails at load time
+        return config
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> CampaignConfig:
+        """Load a ``.toml`` or ``.json`` campaign declaration."""
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            raise UsageError(f"campaign config not found: {path}")
+        try:
+            if path.endswith(".json"):
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+            else:
+                import tomllib
+
+                with open(path, "rb") as fh:
+                    data = tomllib.load(fh)
+        except (json.JSONDecodeError, ValueError) as exc:
+            # tomllib.TOMLDecodeError subclasses ValueError
+            raise UsageError(f"cannot parse campaign config {path}: {exc}") from None
+        return cls.from_dict(data, source=path)
+
+    def expand(self) -> list[CampaignScenario]:
+        """The full deterministic scenario list, in grid order."""
+        from repro.assay.catalog import BUNDLED_ASSAYS, is_generator_spec
+        from repro.fault.models import FAULT_MODELS
+        from repro.workload.generator import GeneratorSpec
+
+        scenarios: list[CampaignScenario] = []
+        seen: dict[str, int] = {}
+        for i, grid in enumerate(self.grids):
+            where = f"[[grid]] #{i + 1}"
+            specs = []
+            for raw in _str_list(grid, "generators", where, None):
+                if is_generator_spec(raw):
+                    try:
+                        specs.append(GeneratorSpec.parse(raw).canonical())
+                    except ValueError as exc:
+                        raise UsageError(f"{where}: {exc}") from None
+                elif raw in BUNDLED_ASSAYS:
+                    specs.append(raw)
+                else:
+                    raise UsageError(
+                        f"{where}: unknown protocol {raw!r}; choose a bundled "
+                        f"assay {sorted(BUNDLED_ASSAYS)} or a gen: spec"
+                    )
+            arrays = [parse_array(a) for a in _str_list(grid, "arrays", where, ["auto"])]
+            models = _str_list(grid, "fault_models", where, ["none"])
+            for m in models:
+                if m != "none" and m not in FAULT_MODELS:
+                    raise UsageError(
+                        f"{where}: unknown fault model {m!r}; choose 'none' "
+                        f"or one of {sorted(FAULT_MODELS)}"
+                    )
+            sensors = [
+                SensorSpec.parse(s)
+                for s in _str_list(grid, "sensors", where, ["ideal"])
+            ]
+            engines = _str_list(grid, "engines", where, ["event"])
+            for e in engines:
+                if e not in SIM_ENGINES:
+                    raise UsageError(
+                        f"{where}: unknown engine {e!r}; choose from {SIM_ENGINES}"
+                    )
+            unknown = set(grid) - {
+                "generators", "arrays", "fault_models", "sensors", "engines"
+            }
+            if unknown:
+                raise UsageError(
+                    f"{where}: unknown key(s) {sorted(unknown)}"
+                )
+            for spec in specs:
+                for array in arrays:
+                    for model in models:
+                        for sensor in sensors:
+                            for engine in engines:
+                                sc = CampaignScenario(
+                                    spec=spec, array=array, fault_model=model,
+                                    sensor=sensor, engine=engine,
+                                    index=len(scenarios),
+                                )
+                                if sc.key in seen:
+                                    raise UsageError(
+                                        f"{where}: scenario {sc.key!r} already "
+                                        f"declared by [[grid]] #{seen[sc.key] + 1}"
+                                    )
+                                seen[sc.key] = i
+                                scenarios.append(sc)
+        return scenarios
+
+
+# -- records -----------------------------------------------------------------
+
+
+@dataclass
+class CampaignRecord:
+    """One scenario's log line. Deterministic: no wall-clock fields."""
+
+    key: str
+    index: int
+    spec: str
+    family: str | None  # generator family; None for bundled assays
+    n: int | None  # requested module budget; None for bundled assays
+    array: str  # "auto" or "WxH"
+    fault_model: str
+    sensor: dict
+    engine: str
+    seed: int
+    status: str
+    error: str | None = None
+    #: Synthesis metrics (None when synthesis itself failed).
+    synthesis: dict | None = None
+    #: Closed-loop execution metrics (None when the scenario never ran).
+    recovery: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "v": RECORD_SCHEMA_VERSION,
+            "kind": RECORD_KIND,
+            "key": self.key,
+            "index": self.index,
+            "spec": self.spec,
+            "family": self.family,
+            "n": self.n,
+            "array": self.array,
+            "fault_model": self.fault_model,
+            "sensor": self.sensor,
+            "engine": self.engine,
+            "seed": self.seed,
+            "status": self.status,
+            "error": self.error,
+            "synthesis": self.synthesis,
+            "recovery": self.recovery,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> CampaignRecord:
+        return cls(**{
+            f: data.get(f) for f in (
+                "key", "index", "spec", "family", "n", "array", "fault_model",
+                "sensor", "engine", "seed", "status", "error", "synthesis",
+                "recovery",
+            )
+        })
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def completed(self) -> bool:
+        """The closed loop replayed the assay to completion."""
+        return bool(self.recovery and self.recovery.get("completed"))
+
+
+_RECORD_FIELD_TYPES: dict[str, tuple[type, ...]] = {
+    "key": (str,),
+    "index": (int,),
+    "spec": (str,),
+    "family": (str, type(None)),
+    "n": (int, type(None)),
+    "array": (str,),
+    "fault_model": (str,),
+    "sensor": (dict,),
+    "engine": (str,),
+    "seed": (int,),
+    "status": (str,),
+    "error": (str, type(None)),
+    "synthesis": (dict, type(None)),
+    "recovery": (dict, type(None)),
+}
+
+
+# -- the execution unit (module level: must pickle into pool workers) --------
+
+
+@dataclass(frozen=True)
+class _SuffixSpec:
+    """One scenario of a unit: the fault-dependent part."""
+
+    key: str
+    index: int
+    fault_model: str
+    sensor: SensorSpec
+    engine: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class _UnitSpec:
+    """One (spec, array) synthesis plus its scenario suffixes."""
+
+    spec: str
+    array: tuple[int, int] | None
+    synth_seed: int
+    suffixes: tuple[_SuffixSpec, ...]
+    max_concurrent: int
+    max_parked: int | None
+    fast: bool
+
+    @property
+    def key(self) -> str:
+        return f"{self.spec}|{array_key(self.array)}"
+
+
+def _spec_meta(spec: str) -> tuple[str | None, int | None]:
+    """(family, n) for a gen: spec; (None, None) for bundled names."""
+    from repro.assay.catalog import is_generator_spec
+    from repro.workload.generator import GeneratorSpec
+
+    if not is_generator_spec(spec):
+        return None, None
+    parsed = GeneratorSpec.parse(spec)
+    return parsed.family, parsed.n
+
+
+def _synthesis_summary(result: SynthesisResult) -> dict:
+    plan = result.routing_plan
+    placement = result.placement_result
+    width, height = placement.placement.array_dims()
+    return {
+        "modules": len(placement.placement),
+        "makespan_s": result.schedule.makespan,
+        "width": width,
+        "height": height,
+        "area_cells": result.area_cells,
+        "fti": result.fti,
+        "routability": plan.routability if plan is not None else None,
+        "nets_routed": plan.routed_count if plan is not None else None,
+        "nets_failed": plan.failed_count if plan is not None else None,
+    }
+
+
+def _recovery_summary(outcome) -> dict:
+    return {
+        "completed": outcome.completed,
+        "aborted": outcome.aborted,
+        "reason": outcome.reason,
+        "final_rung": outcome.final_rung,
+        "detections": len(outcome.detections),
+        "false_alarms": len(outcome.false_alarms),
+        "recoveries": len(outcome.recoveries),
+        "probes_run": outcome.probes_run,
+        "watchdog_rounds": outcome.watchdog_rounds,
+        "nominal_makespan_s": outcome.nominal_makespan_s,
+        "realized_makespan_s": outcome.realized_makespan_s,
+        "makespan_penalty_s": outcome.makespan_penalty_s,
+    }
+
+
+def _run_unit(unit: _UnitSpec) -> list[CampaignRecord]:
+    """Synthesize once, then run every fault suffix on the result."""
+    from repro.assay.catalog import build_assay
+    from repro.placement.annealer import AnnealingParams
+    from repro.placement.sa_placer import SimulatedAnnealingPlacer
+    from repro.recovery import ClosedLoopController, OnlineRecoveryEngine
+    from repro.recovery.engine import pick_fault_cell
+    from repro.recovery.sweep import scenario_events
+    from repro.synthesis.flow import SynthesisFlow
+    from repro.testing.detector import CapacitiveSensor
+    from repro.util.rng import ensure_rng
+
+    family, n = _spec_meta(unit.spec)
+    params = AnnealingParams.fast() if unit.fast else AnnealingParams.balanced()
+
+    def record(suffix: _SuffixSpec, **kwargs) -> CampaignRecord:
+        return CampaignRecord(
+            key=suffix.key, index=suffix.index, spec=unit.spec, family=family,
+            n=n, array=array_key(unit.array), fault_model=suffix.fault_model,
+            sensor=suffix.sensor.to_dict(), engine=suffix.engine,
+            seed=suffix.seed, **kwargs,
+        )
+
+    core_w, core_h = unit.array if unit.array else (None, None)
+    try:
+        graph, binding = build_assay(unit.spec)
+        flow = SynthesisFlow(
+            placer=SimulatedAnnealingPlacer(
+                params=params, core_width=core_w, core_height=core_h,
+                seed=unit.synth_seed,
+            ),
+            max_concurrent_ops=unit.max_concurrent,
+            max_parked=unit.max_parked,
+            seed=unit.synth_seed,
+            route=True,
+        )
+        result = flow.run(graph, explicit_binding=binding)
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        return [
+            record(s, status="infeasible", error=error) for s in unit.suffixes
+        ]
+
+    synthesis = _synthesis_summary(result)
+    makespan = result.schedule.makespan
+    width, height = result.placement_result.placement.array_dims()
+
+    records = []
+    for suffix in unit.suffixes:
+        rng = ensure_rng(suffix.seed)
+        engine = OnlineRecoveryEngine(
+            annealing=params if unit.fast else None, sim_engine=suffix.engine
+        )
+        controller = ClosedLoopController(
+            engine=engine,
+            sensor=CapacitiveSensor(
+                false_positive_rate=suffix.sensor.false_positive_rate,
+                false_negative_rate=suffix.sensor.false_negative_rate,
+                latency_s=suffix.sensor.latency_s,
+            ),
+        )
+        try:
+            if suffix.fault_model == "none":
+                events: tuple = ()
+            else:
+                fault_time = rng.uniform(0.3, 0.7) * makespan
+                checkpoint = engine.checkpoint_of(result, fault_time)
+                cell = pick_fault_cell(
+                    result, checkpoint, "pending-module", rng=rng
+                )
+                events = scenario_events(
+                    suffix.fault_model, cell, fault_time, makespan,
+                    width, height, rng,
+                )
+            outcome = controller.run(
+                result, events, seed=suffix.seed, mode="closed-loop"
+            )
+        except ReproError as exc:
+            records.append(record(
+                suffix, status="infeasible",
+                error=f"{type(exc).__name__}: {exc}", synthesis=synthesis,
+            ))
+            continue
+        records.append(record(
+            suffix, status="ok", synthesis=synthesis,
+            recovery=_recovery_summary(outcome),
+        ))
+    return records
+
+
+# -- the runner --------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """Campaign-level accounting over the deterministic record list."""
+
+    name: str
+    seed: int
+    jobs: int
+    log_path: str
+    wall_s: float = 0.0
+    resumed: int = 0
+    records: list[CampaignRecord] = field(default_factory=list)
+
+    @property
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return counts
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def mean_routability(self) -> float | None:
+        vals = [
+            r.synthesis["routability"] for r in self.records
+            if r.synthesis and r.synthesis.get("routability") is not None
+        ]
+        return sum(vals) / len(vals) if vals else None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "log_path": self.log_path,
+            "wall_s": self.wall_s,
+            "resumed": self.resumed,
+            "scenario_count": len(self.records),
+            "status_counts": self.status_counts,
+            "completed_count": self.completed_count,
+            "mean_routability": self.mean_routability,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def table_text(self) -> str:
+        """Per-(spec, array) rollup."""
+        groups: dict[tuple[str, str], list[CampaignRecord]] = {}
+        for r in self.records:
+            groups.setdefault((r.spec, r.array), []).append(r)
+        rows = []
+        for (spec, array), recs in groups.items():
+            routability = [
+                r.synthesis["routability"] for r in recs
+                if r.synthesis and r.synthesis.get("routability") is not None
+            ]
+            rows.append((
+                spec, array, len(recs),
+                sum(1 for r in recs if r.ok),
+                sum(1 for r in recs if r.completed),
+                f"{sum(routability) / len(routability):.0%}" if routability else "-",
+            ))
+        return format_table(
+            ("spec", "array", "scenarios", "ok", "completed", "routability"),
+            rows,
+        )
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.status_counts.items())
+        )
+        mean = self.mean_routability
+        return (
+            f"campaign '{self.name}': {len(self.records)} scenarios "
+            f"({counts}); {self.completed_count} completed closed-loop; "
+            f"mean routability "
+            f"{'-' if mean is None else format(mean, '.1%')}; "
+            f"{self.resumed} resumed; wall {self.wall_s:.1f}s -> {self.log_path}"
+        )
+
+
+class CampaignRunner:
+    """Expand a config and execute it under supervision."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+
+    def _units(
+        self, scenarios: list[CampaignScenario], done: Mapping[str, dict]
+    ) -> tuple[list[_UnitSpec], list[CampaignRecord]]:
+        """Group scenarios into synthesis units, splitting off resumed
+        records. Unit order follows first appearance in grid order."""
+        seed = str(self.config.seed)
+        resumed: list[CampaignRecord] = []
+        grouped: dict[str, list[_SuffixSpec]] = {}
+        arrays: dict[str, tuple[int, int] | None] = {}
+        specs: dict[str, str] = {}
+        for sc in scenarios:
+            if sc.key in done:
+                resumed.append(CampaignRecord.from_dict(done[sc.key]))
+                continue
+            grouped.setdefault(sc.unit_key, []).append(_SuffixSpec(
+                key=sc.key, index=sc.index, fault_model=sc.fault_model,
+                sensor=sc.sensor, engine=sc.engine,
+                seed=derive_seed(seed, "scenario", sc.key),
+            ))
+            arrays[sc.unit_key] = sc.array
+            specs[sc.unit_key] = sc.spec
+        units = [
+            _UnitSpec(
+                spec=specs[k], array=arrays[k],
+                synth_seed=derive_seed(seed, "synthesis", k),
+                suffixes=tuple(suffixes),
+                max_concurrent=self.config.max_concurrent,
+                max_parked=self.config.max_parked,
+                fast=self.config.fast,
+            )
+            for k, suffixes in grouped.items()
+        ]
+        return units, resumed
+
+    def run(
+        self,
+        log_path: str | os.PathLike,
+        jobs: int = 1,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        chaos=None,
+        journal_path: str | os.PathLike | None = None,
+        resume_from: str | os.PathLike | None = None,
+    ) -> CampaignReport:
+        """Execute the campaign, streaming the log to *log_path*.
+
+        *journal_path* / *resume_from* carry crash-safety exactly as in
+        the batch runner: every **decided** scenario (terminal ok or
+        infeasible) is journaled as its unit finishes; a resume skips
+        decided scenarios and re-runs crashed/timed-out ones. The log
+        file itself is rewritten from scratch each run — it is the
+        deterministic product, the journal is the incremental state.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        t0 = time.perf_counter()
+        scenarios = self.config.expand()
+        done = load_journal(resume_from, kind=CAMPAIGN_JOURNAL_KIND) \
+            if resume_from else {}
+        units, resumed = self._units(scenarios, done)
+
+        by_key: dict[str, CampaignRecord] = {r.key: r for r in resumed}
+        meta = {
+            "v": RECORD_SCHEMA_VERSION,
+            "kind": META_KIND,
+            "name": self.config.name,
+            "seed": self.config.seed,
+            "scenario_count": len(scenarios),
+        }
+
+        with open(log_path, "w", encoding="utf-8") as fh, \
+                (CampaignJournal(journal_path) if journal_path
+                 else NullJournal()) as journal:
+            # The log is written strictly in scenario-index order; one
+            # "position" per unit, claimed in unit order, plus a final
+            # flush position for the grid-order assembly below.
+            fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            fh.flush()
+
+            def on_outcome(out) -> None:
+                unit = units[out.index]
+                if out.ok:
+                    records = list(out.value)
+                    for rec in records:
+                        # Decided scenarios only: a crashed/timed-out
+                        # unit is retried on resume instead.
+                        journal.append(
+                            CAMPAIGN_JOURNAL_KIND, rec.key, rec.to_dict()
+                        )
+                else:
+                    family, n = _spec_meta(unit.spec)
+                    records = [
+                        CampaignRecord(
+                            key=s.key, index=s.index, spec=unit.spec,
+                            family=family, n=n, array=array_key(unit.array),
+                            fault_model=s.fault_model,
+                            sensor=s.sensor.to_dict(), engine=s.engine,
+                            seed=s.seed, status=out.status, error=out.error,
+                        )
+                        for s in unit.suffixes
+                    ]
+                for rec in records:
+                    by_key[rec.key] = rec
+
+            if units:
+                pool = SupervisedPool(
+                    jobs=min(jobs, len(units)),
+                    task_timeout=task_timeout,
+                    max_retries=max_retries,
+                    chaos=chaos,
+                )
+                pool.map(
+                    _run_unit, units,
+                    keys=[u.key for u in units],
+                    on_outcome=on_outcome,
+                )
+
+            # Assemble the final grid-order stream. Every declared
+            # scenario must be present with a terminal status — the
+            # zero-silently-lost invariant.
+            records = []
+            for sc in scenarios:
+                rec = by_key.get(sc.key)
+                assert rec is not None, f"scenario lost without record: {sc.key}"
+                if rec.status == STATUS_RETRIED_OK:
+                    rec.status = STATUS_OK
+                if rec.status not in RECORD_STATUSES:
+                    rec.status = "crashed"
+                records.append(rec)
+                fh.write(json.dumps(rec.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+        return CampaignReport(
+            name=self.config.name,
+            seed=self.config.seed,
+            jobs=jobs,
+            log_path=os.fspath(log_path),
+            wall_s=time.perf_counter() - t0,
+            resumed=len(resumed),
+            records=records,
+        )
+
+
+# -- log validation ----------------------------------------------------------
+
+
+def read_log(path: str | os.PathLike) -> tuple[dict, list[CampaignRecord]]:
+    """Load a campaign log; raises :class:`ReproError` when malformed."""
+    errors = validate_log(path)
+    if errors:
+        raise ReproError(
+            f"invalid campaign log {os.fspath(path)}: {errors[0]} "
+            f"({len(errors)} problem(s) total)"
+        )
+    meta: dict = {}
+    records: list[CampaignRecord] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            entry = json.loads(line)
+            if entry["kind"] == META_KIND:
+                meta = entry
+            else:
+                records.append(CampaignRecord.from_dict(entry))
+    return meta, records
+
+
+def validate_log(path: str | os.PathLike) -> list[str]:
+    """Validate every line of a campaign log against the record schema.
+
+    Returns a list of human-readable problems (empty = valid). A
+    missing file raises :class:`UsageError` — that is a usage mistake,
+    not invalid data.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise UsageError(f"campaign log not found: {path}")
+    errors: list[str] = []
+    seen: dict[str, int] = {}
+    meta: dict | None = None
+    n_records = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                errors.append(f"line {lineno}: blank line")
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            if not isinstance(entry, dict):
+                errors.append(f"line {lineno}: not a JSON object")
+                continue
+            if entry.get("v") != RECORD_SCHEMA_VERSION:
+                errors.append(
+                    f"line {lineno}: schema version {entry.get('v')!r}, "
+                    f"expected {RECORD_SCHEMA_VERSION}"
+                )
+                continue
+            kind = entry.get("kind")
+            if kind == META_KIND:
+                if lineno != 1:
+                    errors.append(f"line {lineno}: stray meta line")
+                meta = entry
+                continue
+            if kind != RECORD_KIND:
+                errors.append(f"line {lineno}: unknown kind {kind!r}")
+                continue
+            n_records += 1
+            for fname, types in _RECORD_FIELD_TYPES.items():
+                if fname not in entry:
+                    errors.append(f"line {lineno}: missing field {fname!r}")
+                elif not isinstance(entry[fname], types) or (
+                    isinstance(entry[fname], bool) and bool not in types
+                ):
+                    errors.append(
+                        f"line {lineno}: field {fname!r} has "
+                        f"{type(entry[fname]).__name__}, expected "
+                        f"{'/'.join(t.__name__ for t in types)}"
+                    )
+            status = entry.get("status")
+            if isinstance(status, str) and status not in RECORD_STATUSES:
+                errors.append(
+                    f"line {lineno}: status {status!r} not in {RECORD_STATUSES}"
+                )
+            key = entry.get("key")
+            if isinstance(key, str):
+                if key in seen:
+                    errors.append(
+                        f"line {lineno}: duplicate key {key!r} "
+                        f"(first at line {seen[key]})"
+                    )
+                seen[key] = lineno
+    if meta is None:
+        errors.append("line 1: missing campaign-meta header")
+    elif isinstance(meta.get("scenario_count"), int) \
+            and meta["scenario_count"] != n_records:
+        errors.append(
+            f"meta declares {meta['scenario_count']} scenarios, "
+            f"log carries {n_records} records (lost scenarios?)"
+        )
+    return errors
+
+
+def iter_log_payloads(path: str | os.PathLike) -> Iterable[dict]:
+    """Raw JSON objects of a log, line order, no validation."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                yield json.loads(line)

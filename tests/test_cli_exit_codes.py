@@ -177,7 +177,84 @@ class TestRealUsageErrors:
              "--cell", "2", "2"]
         )
         assert code == EXIT_USAGE
-        assert "pair up one-to-one" in capsys.readouterr().err
+
+
+class TestUnknownProtocolEverywhere:
+    """Every --protocol-taking subcommand maps an unknown name to exit
+    2 with the available choices listed — a typo is a usage mistake,
+    not a crash (the catalog raises UsageError, never bare KeyError)."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["flow", "--protocol", "warp"],
+            ["place", "--protocol", "warp"],
+            ["route", "--protocol", "warp"],
+            ["simulate", "--protocol", "warp"],
+            ["portfolio", "--protocol", "warp"],
+            ["recover", "--protocol", "warp"],
+            ["explore", "--protocol", "warp"],
+            ["batch", "--protocols", "warp"],
+        ],
+    )
+    def test_unknown_protocol_exits_2(self, capsys, argv):
+        code, _ = run_cli(argv)
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "unknown protocol" in err
+        assert "pcr" in err  # the available choices are listed
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["flow", "--protocol", "gen:warp:n=50"],
+            ["recover", "--protocol", "gen:mix-tree"],  # missing n=
+            ["batch", "--protocols", "gen:mix-tree:n=bogus"],
+        ],
+    )
+    def test_malformed_generator_spec_exits_2(self, argv):
+        code, _ = run_cli(argv)
+        assert code == EXIT_USAGE
+
+    def test_catalog_raises_usage_error_not_key_error(self):
+        from repro.assay.catalog import build_assay
+
+        with pytest.raises(UsageError, match="unknown protocol"):
+            build_assay("warp")
+
+
+class TestCampaignUsageErrors:
+    def test_missing_config_exits_2(self, capsys):
+        code, _ = run_cli(["campaign"])
+        assert code == EXIT_USAGE
+        assert "config file is required" in capsys.readouterr().err
+
+    def test_nonexistent_config_exits_2(self, tmp_path):
+        code, _ = run_cli(["campaign", str(tmp_path / "nope.toml")])
+        assert code == EXIT_USAGE
+
+    def test_bad_config_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "c.toml"
+        p.write_text(
+            '[campaign]\nname = "x"\n\n'
+            '[[grid]]\ngenerators = ["warp"]\n'
+        )
+        code, _ = run_cli(["campaign", str(p)])
+        assert code == EXIT_USAGE
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_validate_missing_log_exits_2(self, tmp_path):
+        code, _ = run_cli(
+            ["campaign", "--validate", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == EXIT_USAGE
+
+    def test_validate_invalid_log_exits_3(self, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        log.write_text("{not json\n")
+        code, _ = run_cli(["campaign", "--validate", str(log)])
+        assert code == EXIT_INFEASIBLE
+        assert "INVALID" in capsys.readouterr().out
 
     def test_sensor_flags_need_closed_loop(self, capsys):
         code, _ = run_cli(["recover", "--sensor-fpr", "0.1"])

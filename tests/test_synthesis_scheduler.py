@@ -162,6 +162,88 @@ class TestListSchedule:
         s.validate_precedence(g)
 
 
+def peak_parked(g: SequencingGraph, sched: Schedule) -> int:
+    """Max count of edges whose producer finished but consumer has not
+    started, over all completion instants."""
+    stop = {op.id: sched.stop(op.id) for op in g}
+    start = {op.id: sched.start(op.id) for op in g}
+    edges = [(u.id, v) for u in g for v in g.successors(u.id)]
+    return max(
+        sum(1 for u, v in edges if stop[u] <= t < start[v])
+        for t in sorted(set(stop.values()))
+    )
+
+
+class TestMaxParked:
+    """The storage-pressure bound on finished-but-unconsumed products."""
+
+    def wide_fanin(self, pairs: int = 6) -> SequencingGraph:
+        """Many independent dispense pairs feeding one mix each: with
+        unconstrained priority every dispense front-loads at t=0 and
+        the products pile up waiting for their (serialized) mixes."""
+        g = SequencingGraph()
+        for i in range(pairs):
+            for tag in ("a", "b"):
+                g.add_operation(
+                    Operation(f"d{tag}{i}", OperationType.DISPENSE)
+                )
+            g.add_operation(Operation(f"m{i}", OperationType.MIX))
+            g.add_dependency(f"da{i}", f"m{i}")
+            g.add_dependency(f"db{i}", f"m{i}")
+        return g
+
+    def durations(self, g: SequencingGraph) -> dict[str, float]:
+        return {
+            op.id: 2.0 if op.type is OperationType.DISPENSE else 10.0
+            for op in g
+        }
+
+    def test_unbounded_piles_up(self):
+        g = self.wide_fanin()
+        s = list_schedule(g, self.durations(g), max_concurrent_ops=1)
+        assert peak_parked(g, s) >= 8
+
+    def test_bound_caps_the_pile(self):
+        g = self.wide_fanin()
+        s = list_schedule(
+            g, self.durations(g), max_concurrent_ops=1, max_parked=2
+        )
+        s.validate_precedence(g)
+        assert peak_parked(g, s) <= 2
+        assert len(s) == len(g)
+
+    def test_default_is_unchanged(self):
+        g = self.wide_fanin()
+        a = list_schedule(g, self.durations(g), max_concurrent_ops=2)
+        b = list_schedule(
+            g, self.durations(g), max_concurrent_ops=2, max_parked=None
+        )
+        assert a.to_dict() == b.to_dict()
+
+    def test_invalid_bound(self):
+        g = chain(2)
+        with pytest.raises(ScheduleError, match="max_parked"):
+            list_schedule(g, {"op0": 1.0, "op1": 1.0}, max_parked=0)
+
+    def test_bound_cannot_deadlock_a_chain(self):
+        # A pure chain never parks more than one product; the bound is
+        # irrelevant but must not stall the schedule.
+        g = chain(5)
+        durations = {f"op{i}": 1.0 for i in range(5)}
+        s = list_schedule(g, durations, max_parked=1)
+        assert len(s) == 5
+        s.validate_precedence(g)
+
+    @given(mp=st.integers(1, 4))
+    def test_any_bound_schedules_everything(self, mp):
+        g = self.wide_fanin(4)
+        s = list_schedule(
+            g, self.durations(g), max_concurrent_ops=2, max_parked=mp
+        )
+        assert len(s) == len(g)
+        s.validate_precedence(g)
+
+
 class TestScheduleContainer:
     def make(self) -> Schedule:
         return Schedule({
